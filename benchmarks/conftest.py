@@ -1,0 +1,42 @@
+"""Shared benchmark state.
+
+Figures 9-12 all derive from the same seven on/off comparisons, and
+Figure 9's SPECjbb entries reuse the warehouse experiments of Figures
+13/15; the first benchmark that needs each artifact computes and caches
+it here so the suite measures everything exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import (
+    _comparisons,
+    fig13_jbb2000_warehouses,
+    fig14_jbb2000_accelerated,
+    fig15_jbb2005_warehouses,
+)
+
+_CACHE: dict[str, object] = {}
+
+
+def get_comparisons():
+    if "comparisons" not in _CACHE:
+        _CACHE["comparisons"] = _comparisons(repeats=2)
+    return _CACHE["comparisons"]
+
+
+def get_fig13():
+    if "fig13" not in _CACHE:
+        _CACHE["fig13"] = fig13_jbb2000_warehouses(repeats=7)
+    return _CACHE["fig13"]
+
+
+def get_fig14():
+    if "fig14" not in _CACHE:
+        _CACHE["fig14"] = fig14_jbb2000_accelerated(repeats=7)
+    return _CACHE["fig14"]
+
+
+def get_fig15():
+    if "fig15" not in _CACHE:
+        _CACHE["fig15"] = fig15_jbb2005_warehouses(repeats=7)
+    return _CACHE["fig15"]

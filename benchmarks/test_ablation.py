@@ -1,0 +1,117 @@
+"""Ablation benches for the design knobs DESIGN.md calls out:
+
+* **EQ1's R** (assignment-cost weight): raising R suppresses state
+  fields that are frequently reassigned;
+* **hot-state share threshold**: raising it drops minority states,
+  trading specialized coverage for fewer special TIBs/versions;
+* **the inline-vs-specialize k** (paper §5): a large positive k forces
+  specialization of mutable callees; a very negative k forces inlining
+  (which destroys the TIB dispatch point).
+
+Each ablation runs SalaryDB (hot states 0–3, uniformly spread), where
+the knobs have crisp, predictable effects.
+"""
+
+from repro import VM, compile_source
+from repro.mutation import MutationConfig, build_mutation_plan
+from repro.opt.inline import InlineConfig
+from repro.opt.pipeline import OptCompiler, OptConfig
+from repro.workloads import get_workload
+
+SCALE = 0.4
+
+
+def _spec_source():
+    return get_workload("salarydb").source(SCALE)
+
+
+def test_ablation_hot_state_threshold(benchmark):
+    source = _spec_source()
+
+    def sweep():
+        out = {}
+        for share in (0.05, 0.20, 0.35):
+            plan = build_mutation_plan(
+                source, config=MutationConfig(hot_state_share=share)
+            )
+            cp = plan.classes.get("SalaryEmployee")
+            out[share] = len(cp.hot_states) if cp else 0
+        return out
+
+    states = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print("hot-state share threshold -> #hot states:", states)
+    # SalaryDB grades are ~uniform (23-29% each): 5% keeps all four,
+    # 35% keeps none.
+    assert states[0.05] == 4
+    assert states[0.35] == 0
+    assert states[0.05] >= states[0.20] >= states[0.35]
+
+
+def test_ablation_eq1_R(benchmark):
+    # grade reassigned inside the hot loop: R decides its fate.
+    source = _spec_source().replace(
+        "salary += 1.0;", "salary += 1.0; grade = grade * 1;"
+    )
+
+    def sweep():
+        out = {}
+        for r_value in (0.5, 16.0):
+            plan = build_mutation_plan(
+                source, config=MutationConfig(R=r_value)
+            )
+            cp = plan.classes.get("SalaryEmployee")
+            out[r_value] = bool(
+                cp and any(
+                    s.field_name == "grade" for s in cp.instance_fields
+                )
+            )
+        return out
+
+    kept = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print("EQ1 R -> grade kept as state field:", kept)
+    assert kept[0.5] is True
+    assert kept[16.0] is False
+
+
+def test_ablation_inline_vs_specialize_k(benchmark):
+    """k (paper §5): with forced specialization (huge k, tiny-override
+    off) the hot mutable method keeps its dispatch point and gets
+    specials; with forced inlining (tiny k) the call site absorbs the
+    general body instead."""
+    source = _spec_source()
+    plan = build_mutation_plan(source)
+
+    def run_with_k(k, tiny):
+        unit = compile_source(source)
+        vm = VM(unit, mutation_plan=plan)
+        vm._opt_compiler = OptCompiler(
+            vm,
+            OptConfig(inline=InlineConfig(k=k, mutable_tiny_size=tiny)),
+        )
+        result = vm.run()
+        rm = vm.classes["SalaryEmployee"].own_methods["raise"]
+        return {
+            "output": result.output,
+            "specials": len(rm.specials),
+            "wall": result.wall_seconds,
+        }
+
+    def sweep():
+        return {
+            "specialize": run_with_k(k=100, tiny=0),
+            "inline": run_with_k(k=-100, tiny=10_000),
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    for mode, r in results.items():
+        print(f"k ablation [{mode}]: specials={r['specials']} "
+              f"wall={r['wall']:.3f}s")
+    # Correctness is mode-independent.
+    assert results["specialize"]["output"] == results["inline"]["output"]
+    # Specialized versions are generated either way (Fig. 5 runs at
+    # recompilation), but only the specialize mode leaves the virtual
+    # dispatch in SalaryDB's main loop pointing at them.
+    assert results["specialize"]["specials"] == 4

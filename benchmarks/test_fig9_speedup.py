@@ -1,0 +1,42 @@
+"""Figure 9: overall performance improvement from class mutation.
+
+Paper: speedups from 1.9% (SPECjbb2005) to 31.4% (SalaryDB), positive
+everywhere.  Absolute magnitudes are substrate-scaled here (JxVM's
+dispatch and branch costs differ from a Pentium 4 running Jikes); the
+asserted shape is: correctness preserved everywhere, solid speedup on
+the specialization-friendly benchmarks, and no meaningful regression
+anywhere.
+"""
+
+from conftest import get_comparisons, get_fig13, get_fig15
+
+from repro.harness.figures import fig9_speedups, format_rows
+
+
+def _measure():
+    return fig9_speedups(
+        get_comparisons(),
+        warehouse_comparisons={
+            "jbb2000": get_fig13(),
+            "jbb2005": get_fig15(),
+        },
+    )
+
+
+def test_fig9_overall_speedup(benchmark):
+    rows = benchmark.pedantic(_measure, iterations=1, rounds=1)
+    print()
+    print(format_rows("Figure 9: overall speedup", rows,
+                      extra_keys=("outputs_match", "metric")))
+    by_name = {r.workload: r for r in rows}
+    # Mutation must never change program behavior.
+    assert all(r.extra["outputs_match"] for r in rows)
+    # Specialized versions were actually generated for every benchmark.
+    assert all(r.extra["special_versions"] >= 1 for r in rows)
+    # The flagship microbenchmark shows a strong win.
+    assert by_name["salarydb"].measured > 10.0
+    # The small-gain benchmarks must at least not regress badly.
+    for name in ("csvtoxml", "java2xhtml", "jbb2000", "jbb2005"):
+        assert by_name[name].measured > -8.0, name
+    # Most benchmarks benefit.
+    assert sum(1 for r in rows if r.measured > 0) >= 5

@@ -1,0 +1,19 @@
+"""Table 1: the benchmark inventory (program, description, classes,
+methods) — ours vs. the paper's Java originals."""
+
+from repro.harness.tables import format_table1, table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1, iterations=1, rounds=1)
+    print()
+    print(format_table1(rows))
+    by_name = {r.name: r for r in rows}
+    # Shape: the SPECjbb ports are the largest programs; the
+    # microbenchmark is among the smallest (as in the paper's Table 1).
+    assert by_name["jbb2000"].classes == max(r.classes for r in rows)
+    assert by_name["jbb2000"].methods == max(r.methods for r in rows)
+    assert by_name["jbb2000"].methods > by_name["salarydb"].methods
+    assert all(r.classes >= 2 and r.methods >= r.classes for r in rows)
+    # Descriptions match the paper.
+    assert by_name["weka"].description.startswith("Data mining")

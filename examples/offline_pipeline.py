@@ -1,0 +1,126 @@
+"""The offline analysis pipeline, step by step (paper §3.1, Fig. 3).
+
+Instead of the one-call `build_mutation_plan`, this example runs each
+stage separately and prints its artifacts:
+
+1. hot-method profiling (the VTune stage);
+2. EQ1 state-field scoring — including why non-state fields get
+   rejected;
+3. value profiling and hot-state derivation;
+4. object lifetime constant analysis (paper §4, Fig. 8);
+5. exporting/reloading the plan as JSON.
+
+Run:  python examples/offline_pipeline.py
+"""
+
+from repro import compile_source
+from repro.mutation import MutationConfig
+from repro.mutation.hot_states import derive_hot_states
+from repro.mutation.lifetime import analyze_lifetime_constants
+from repro.mutation.state_fields import collect_field_usage, derive_state_fields
+from repro.profiling import (
+    ValueProfiler,
+    plan_from_json,
+    plan_to_json,
+    profile_methods,
+)
+from repro.mutation.pipeline import build_mutation_plan
+
+SOURCE = """
+class Screen {
+    int rows;
+    int cols;
+    Screen() { rows = 24; cols = 80; }
+    public int clip(int len) {
+        if (len > cols) { return cols; }
+        return len;
+    }
+}
+class Renderer {
+    private Screen screen;
+    private int styleMode;     // 0 plain, 1 markup (dominant)
+    int emitted;
+    Renderer(int style) {
+        screen = new Screen();
+        styleMode = style;
+    }
+    public int emit(string text) {
+        int len = screen.clip(Sys.len(text));
+        if (styleMode == 1) { len += 13; }
+        emitted += len;
+        return len;
+    }
+}
+class Main {
+    static void main() {
+        Renderer r = new Renderer(1);
+        int total = 0;
+        for (int i = 0; i < 3000; i++) {
+            total += r.emit("line " + (i % 50));
+        }
+        Sys.print("total=" + total);
+    }
+}
+"""
+
+
+def main() -> None:
+    config = MutationConfig()
+
+    print("=== step 1: hot methods (profiling run #1) ===")
+    unit = compile_source(SOURCE)
+    profile = profile_methods(unit)
+    print(profile.report(top=8))
+    hotness = profile.hotness_by_method()
+    hot_classes = profile.hot_classes(config.hot_method_share)
+    hot_classes -= {"Sys", "Object", "StringBuilder"}
+    print("hot classes:", sorted(hot_classes))
+    print()
+
+    print("=== step 2: EQ1 state-field scoring ===")
+    usage = collect_field_usage(unit, hotness, config)
+    for key, entry in sorted(usage.items(),
+                             key=lambda kv: -kv[1].score(config))[:6]:
+        print(f"  {key:30s} V = {entry.score(config):8.4f} "
+              f"(branch {entry.branch_score:.4f} "
+              f"- R*assign {entry.assign_score:.4f})")
+    fields = derive_state_fields(unit, hot_classes, hotness, config)
+    print("state fields:", {
+        cls: [s.key for s in specs] for cls, specs in fields.items()
+    })
+    print()
+
+    print("=== step 3: hot states (profiling run #2) ===")
+    unit2 = compile_source(SOURCE)
+    candidates = {
+        cls: ([s for s in specs if not s.is_static],
+              [s for s in specs if s.is_static])
+        for cls, specs in fields.items()
+    }
+    profiler = ValueProfiler(unit2, candidates)
+    value_profiles = profiler.run()
+    print(profiler.report())
+    for cls, vp in value_profiles.items():
+        inst, stat, states = derive_hot_states(vp, config)
+        print(f"  {cls}: hot states "
+              f"{[ (h.instance_values, round(h.share, 2)) for h in states ]}")
+    print()
+
+    print("=== step 4: object lifetime constants (Fig. 8) ===")
+    lifetime = analyze_lifetime_constants(unit, sorted(fields))
+    for key, info in lifetime.items():
+        print(f"  {key} -> {info.target_class} "
+              f"{info.field_values_by_name}")
+    print()
+
+    print("=== step 5: plan serialization round-trip ===")
+    plan = build_mutation_plan(SOURCE, config=config)
+    text = plan_to_json(plan)
+    print(text[:400] + ("..." if len(text) > 400 else ""))
+    restored = plan_from_json(text)
+    assert set(restored.classes) == set(plan.classes)
+    print("round-trip OK:", sorted(restored.classes))
+
+
+if __name__ == "__main__":
+    main()

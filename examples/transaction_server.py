@@ -1,0 +1,68 @@
+"""Transaction processing under mutation — the SPECjbb scenario
+(paper §6/§7, Figures 13-15).
+
+Runs the bundled SPECjbb2000-style workload warehouse by warehouse on
+two persistent VMs (mutation off/on), printing per-warehouse throughput
+so you can watch the paper's dynamics: early warehouses pay for
+recompilation and specialized-version generation, later warehouses reap
+the specialized code.
+
+Also shows the paper's Figure 7 object-lifetime-constant chain:
+`DeliveryTransaction.deliveryScreen -> DisplayScreen{rows=24, cols=80}`
+feeding specialization inlining.
+
+Run:  python examples/transaction_server.py
+"""
+
+import time
+
+from repro import VM, compile_source
+from repro.mutation import build_mutation_plan
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    spec = get_workload("jbb2000")
+
+    print("=== offline pipeline on the scaled-down profiling build ===")
+    plan = build_mutation_plan(
+        spec.profile_source(), entry_class=spec.entry_class
+    )
+    print(plan.describe())
+    print()
+
+    print("=== 8 warehouses, mutation off vs. on ===")
+    vms = {}
+    for tag, p in (("off", None), ("on", plan)):
+        unit = compile_source(spec.bench_source(),
+                              entry_class=spec.entry_class)
+        vms[tag] = VM(unit, mutation_plan=p)
+
+    print(f"{'wh':>3s} {'off tx/s':>10s} {'on tx/s':>10s} {'delta':>8s}")
+    for wh in range(1, 9):
+        row = {}
+        for tag, vm in vms.items():
+            start = time.perf_counter()
+            done = vm.call_static("Main", "runSlice", [])
+            row[tag] = done / (time.perf_counter() - start)
+        delta = row["on"] / row["off"] - 1
+        print(f"{wh:>3d} {row['off']:>10.0f} {row['on']:>10.0f} "
+              f"{delta:>7.1%}")
+
+    on = vms["on"]
+    manager = on.mutation_manager
+    print()
+    print("=== mutation activity ===")
+    print(manager.describe())
+    print()
+    print("special TIB memory: "
+          f"{on.tib_space.special_tib_bytes} bytes "
+          f"({on.tib_space.special_tib_count} special TIBs) — "
+          "paper Fig. 12 reports ~1KB for SPECjbb2000")
+    print(f"allocations: {on.heap.objects_allocated} objects, "
+          f"{on.heap.bytes_allocated // 1024} KiB modeled")
+    print("top allocation sites:", on.heap.top_classes(5))
+
+
+if __name__ == "__main__":
+    main()

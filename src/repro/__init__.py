@@ -1,0 +1,27 @@
+"""repro: a reproduction of "Dynamic Class Hierarchy Mutation"
+(Su & Lipasti, CGO 2006).
+
+Public API tour:
+
+* :func:`repro.compile_source` — compile Jx source to a linkable program;
+* :class:`repro.VM` — execute a program (optionally with a mutation plan);
+* :func:`repro.mutation.pipeline.build_mutation_plan` — the offline
+  profiling + analysis pipeline producing a
+  :class:`~repro.mutation.plan.MutationPlan`;
+* :mod:`repro.workloads` — the seven benchmark programs from the paper;
+* :mod:`repro.harness` — experiment drivers regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from repro.lang import compile_source
+from repro.vm import VM, AdaptiveConfig, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VM",
+    "AdaptiveConfig",
+    "RunResult",
+    "compile_source",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Jx bytecode: instruction set, class-file model, builder, verifier."""
+
+from repro.bytecode.classfile import (
+    BOOLEAN,
+    CONSTRUCTOR_NAME,
+    DOUBLE,
+    INT,
+    STRING,
+    VOID,
+    ClassInfo,
+    FieldInfo,
+    JxType,
+    MethodInfo,
+    ProgramUnit,
+)
+from repro.bytecode.builder import CodeBuilder, Label, make_method
+from repro.bytecode.disasm import (
+    disassemble_class,
+    disassemble_method,
+    disassemble_program,
+)
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verify import VerifyError, verify_method, verify_program
+
+__all__ = [
+    "BOOLEAN",
+    "CONSTRUCTOR_NAME",
+    "DOUBLE",
+    "INT",
+    "STRING",
+    "VOID",
+    "ClassInfo",
+    "CodeBuilder",
+    "FieldInfo",
+    "Instr",
+    "JxType",
+    "Label",
+    "MethodInfo",
+    "Op",
+    "ProgramUnit",
+    "VerifyError",
+    "disassemble_class",
+    "disassemble_method",
+    "disassemble_program",
+    "make_method",
+    "verify_method",
+    "verify_program",
+]

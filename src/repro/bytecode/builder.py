@@ -1,0 +1,178 @@
+"""Programmatic bytecode assembly.
+
+The frontend's code generator and many tests build method bodies through
+:class:`CodeBuilder`, which manages labels and local-variable allocation
+so callers never deal with raw instruction indices.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bytecode.classfile import JxType, MethodInfo
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import Op
+
+
+class Label:
+    """A forward-referenceable branch target."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.index: int | None = None
+
+    def __repr__(self) -> str:
+        return f"Label({self.name or id(self)}@{self.index})"
+
+
+class CodeBuilder:
+    """Accumulates instructions for one method body.
+
+    Typical use::
+
+        cb = CodeBuilder()
+        done = cb.new_label("done")
+        cb.load(0)
+        cb.const(0)
+        cb.emit(Op.CMP_LT)
+        cb.jump_if_false(done)
+        ...
+        cb.place(done)
+        cb.emit(Op.RETURN_VOID)
+        code, max_locals = cb.finish()
+    """
+
+    def __init__(self, num_params: int = 0) -> None:
+        self.code: list[Instr] = []
+        self._pending: dict[int, Label] = {}
+        self._next_local = num_params
+        self._line = 0
+
+    # -- locals ---------------------------------------------------------------
+
+    def alloc_local(self) -> int:
+        """Reserve a fresh local slot and return its index."""
+        idx = self._next_local
+        self._next_local += 1
+        return idx
+
+    @property
+    def max_locals(self) -> int:
+        return self._next_local
+
+    # -- lines -----------------------------------------------------------------
+
+    def set_line(self, line: int) -> None:
+        self._line = line
+
+    # -- emission ---------------------------------------------------------------
+
+    def emit(self, op: Op, arg: Any = None) -> Instr:
+        instr = Instr(op, arg, self._line)
+        self.code.append(instr)
+        return instr
+
+    def const(self, value: Any) -> Instr:
+        return self.emit(Op.CONST, value)
+
+    def load(self, index: int) -> Instr:
+        return self.emit(Op.LOAD, index)
+
+    def store(self, index: int) -> Instr:
+        return self.emit(Op.STORE, index)
+
+    # -- labels and branches -----------------------------------------------------
+
+    def new_label(self, name: str = "") -> Label:
+        return Label(name)
+
+    def place(self, label: Label) -> None:
+        """Bind ``label`` to the next instruction index."""
+        if label.index is not None:
+            raise ValueError(f"label {label!r} placed twice")
+        label.index = len(self.code)
+        for pos, pending in list(self._pending.items()):
+            if pending is label:
+                self.code[pos].arg = label.index
+                del self._pending[pos]
+
+    def _branch(self, op: Op, label: Label) -> Instr:
+        instr = self.emit(op, label.index)
+        if label.index is None:
+            self._pending[len(self.code) - 1] = label
+        return instr
+
+    def jump(self, label: Label) -> Instr:
+        return self._branch(Op.JUMP, label)
+
+    def jump_if_true(self, label: Label) -> Instr:
+        return self._branch(Op.JUMP_IF_TRUE, label)
+
+    def jump_if_false(self, label: Label) -> Instr:
+        return self._branch(Op.JUMP_IF_FALSE, label)
+
+    # -- calls and members --------------------------------------------------------
+
+    def invokevirtual(self, cls: str, method: str, nargs: int) -> Instr:
+        return self.emit(Op.INVOKEVIRTUAL, (cls, method, nargs))
+
+    def invokespecial(self, cls: str, method: str, nargs: int) -> Instr:
+        return self.emit(Op.INVOKESPECIAL, (cls, method, nargs))
+
+    def invokestatic(self, cls: str, method: str, nargs: int) -> Instr:
+        return self.emit(Op.INVOKESTATIC, (cls, method, nargs))
+
+    def invokeinterface(self, iface: str, method: str, nargs: int) -> Instr:
+        return self.emit(Op.INVOKEINTERFACE, (iface, method, nargs))
+
+    def getfield(self, cls: str, name: str) -> Instr:
+        return self.emit(Op.GETFIELD, (cls, name))
+
+    def putfield(self, cls: str, name: str) -> Instr:
+        return self.emit(Op.PUTFIELD, (cls, name))
+
+    def getstatic(self, cls: str, name: str) -> Instr:
+        return self.emit(Op.GETSTATIC, (cls, name))
+
+    def putstatic(self, cls: str, name: str) -> Instr:
+        return self.emit(Op.PUTSTATIC, (cls, name))
+
+    def intrinsic(self, name: str, nargs: int) -> Instr:
+        return self.emit(Op.INTRINSIC, (name, nargs))
+
+    # -- finish ---------------------------------------------------------------------
+
+    def finish(self) -> tuple[list[Instr], int]:
+        """Validate label resolution and return ``(code, max_locals)``."""
+        if self._pending:
+            unresolved = sorted(self._pending)
+            raise ValueError(f"unresolved branch targets at {unresolved}")
+        return self.code, self.max_locals
+
+
+def make_method(
+    name: str,
+    declaring_class: str,
+    param_types: list[JxType],
+    return_type: JxType,
+    builder: CodeBuilder,
+    *,
+    is_static: bool = False,
+    access: str = "public",
+    local_names: list[str] | None = None,
+) -> MethodInfo:
+    """Package a finished :class:`CodeBuilder` into a :class:`MethodInfo`."""
+    code, max_locals = builder.finish()
+    return MethodInfo(
+        name=name,
+        param_types=list(param_types),
+        return_type=return_type,
+        declaring_class=declaring_class,
+        is_static=is_static,
+        access=access,
+        code=code,
+        max_locals=max_locals,
+        local_names=list(local_names or []),
+    )

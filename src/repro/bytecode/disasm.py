@@ -1,0 +1,46 @@
+"""Human-readable disassembly of Jx bytecode."""
+
+from __future__ import annotations
+
+from repro.bytecode.classfile import ClassInfo, MethodInfo, ProgramUnit
+from repro.bytecode.opcodes import OP_INFO
+
+
+def disassemble_method(method: MethodInfo) -> str:
+    """Return a numbered listing of ``method``'s code."""
+    lines = [f"{method}  (max_locals={method.max_locals})"]
+    targets = {
+        instr.arg
+        for instr in method.code
+        if instr.is_branch and isinstance(instr.arg, int)
+    }
+    for i, instr in enumerate(method.code):
+        marker = "->" if i in targets else "  "
+        info = OP_INFO[instr.op]
+        arg = "" if instr.arg is None else f" {instr.arg!r}"
+        hook = "  ; state-field write" if instr.state_hook is not None else ""
+        lines.append(f"{marker}{i:4d}: {info.mnemonic}{arg}{hook}")
+    return "\n".join(lines)
+
+
+def disassemble_class(cls: ClassInfo) -> str:
+    """Return a listing of every method in ``cls``."""
+    header = str(cls)
+    if cls.super_name:
+        header += f" extends {cls.super_name}"
+    if cls.interface_names:
+        header += " implements " + ", ".join(cls.interface_names)
+    parts = [header]
+    for f in cls.fields.values():
+        parts.append(f"  {f}")
+    for m in cls.methods.values():
+        body = disassemble_method(m) if not m.is_abstract else f"{m}  (abstract)"
+        parts.append("  " + body.replace("\n", "\n  "))
+    return "\n".join(parts)
+
+
+def disassemble_program(program: ProgramUnit) -> str:
+    """Return a listing of every class in ``program``."""
+    return "\n\n".join(
+        disassemble_class(cls) for cls in program.classes.values()
+    )

@@ -1,0 +1,186 @@
+"""The Jx bytecode instruction set.
+
+Jx bytecode is a small stack-machine ISA in the spirit of JVM bytecode.
+It is deliberately symbolic: call and field instructions carry class /
+member *names*, which the linker (:mod:`repro.vm.linker`) resolves to
+offsets and slots before execution.  This mirrors the constant-pool
+resolution step of a real JVM while keeping the code model simple.
+
+Each opcode has a :class:`OpInfo` record describing its stack effect,
+which the structural verifier (:mod:`repro.bytecode.verify`) and the
+bytecode-to-IR lowering (:mod:`repro.opt.lowering`) both rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.IntEnum):
+    """Opcode numbering for Jx bytecode instructions."""
+
+    # -- constants and locals ------------------------------------------------
+    CONST = 1          # arg: literal value (int/float/bool/str/None) -> push
+    LOAD = 2           # arg: local index -> push locals[i]
+    STORE = 3          # arg: local index; pop -> locals[i]
+
+    # -- stack manipulation --------------------------------------------------
+    POP = 10
+    DUP = 11
+    SWAP = 12
+
+    # -- arithmetic ----------------------------------------------------------
+    ADD = 20           # numeric add
+    SUB = 21
+    MUL = 22
+    IDIV = 23          # integer division (Java truncation semantics)
+    FDIV = 24          # floating division
+    IREM = 25          # integer remainder (Java semantics)
+    NEG = 26
+    I2D = 27           # int -> double
+    D2I = 28           # double -> int (truncate)
+
+    # -- bitwise / shifts ----------------------------------------------------
+    SHL = 30
+    SHR = 31           # arithmetic shift right
+    BAND = 32
+    BOR = 33
+    BXOR = 34
+
+    # -- comparisons and boolean ---------------------------------------------
+    CMP_LT = 40
+    CMP_LE = 41
+    CMP_GT = 42
+    CMP_GE = 43
+    CMP_EQ = 44        # works on numbers, bools, strings, refs (identity)
+    CMP_NE = 45
+    NOT = 46
+
+    # -- strings --------------------------------------------------------------
+    CONCAT = 50        # pop b, a -> push str(a) + str(b) with Java-ish coercion
+
+    # -- control flow ----------------------------------------------------------
+    JUMP = 60          # arg: target instruction index
+    JUMP_IF_TRUE = 61
+    JUMP_IF_FALSE = 62
+    RETURN = 63        # pop return value
+    RETURN_VOID = 64
+
+    # -- objects ----------------------------------------------------------------
+    NEW = 70           # arg: class name -> push fresh instance (fields defaulted)
+    GETFIELD = 71      # arg: (class name, field name); pop ref -> push value
+    PUTFIELD = 72      # arg: (class name, field name); pop value, ref
+    GETSTATIC = 73     # arg: (class name, field name) -> push value
+    PUTSTATIC = 74     # arg: (class name, field name); pop value
+    INVOKEVIRTUAL = 75  # arg: (class name, method name, nargs incl. receiver)
+    INVOKESPECIAL = 76  # arg: (class name, method name, nargs incl. receiver)
+    INVOKESTATIC = 77  # arg: (class name, method name, nargs)
+    INVOKEINTERFACE = 78  # arg: (interface name, method name, nargs incl. recv)
+    INSTANCEOF = 79    # arg: class name; pop ref -> push bool
+    CHECKCAST = 80     # arg: class name; pop ref -> push ref or raise
+
+    # -- arrays --------------------------------------------------------------
+    NEWARRAY = 90      # arg: element type name; pop length -> push array
+    ALOAD = 91         # pop index, array -> push element
+    ASTORE = 92        # pop value, index, array
+    ARRAYLEN = 93      # pop array -> push length
+
+    # -- intrinsics ----------------------------------------------------------
+    INTRINSIC = 100    # arg: (name, nargs) -> pop nargs, push result (or None)
+
+    # -- no-op / markers -------------------------------------------------------
+    NOP = 110
+
+
+#: Placeholder for "stack effect depends on the instruction argument".
+VARIABLE = None
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata about one opcode.
+
+    ``pops``/``pushes`` of :data:`VARIABLE` means the effect depends on
+    the instruction argument (calls and intrinsics).
+    """
+
+    mnemonic: str
+    pops: int | None
+    pushes: int | None
+    is_branch: bool = False
+    is_terminator: bool = False
+    has_arg: bool = True
+
+
+OP_INFO: dict[Op, OpInfo] = {
+    Op.CONST: OpInfo("const", 0, 1),
+    Op.LOAD: OpInfo("load", 0, 1),
+    Op.STORE: OpInfo("store", 1, 0),
+    Op.POP: OpInfo("pop", 1, 0, has_arg=False),
+    Op.DUP: OpInfo("dup", 1, 2, has_arg=False),
+    Op.SWAP: OpInfo("swap", 2, 2, has_arg=False),
+    Op.ADD: OpInfo("add", 2, 1, has_arg=False),
+    Op.SUB: OpInfo("sub", 2, 1, has_arg=False),
+    Op.MUL: OpInfo("mul", 2, 1, has_arg=False),
+    Op.IDIV: OpInfo("idiv", 2, 1, has_arg=False),
+    Op.FDIV: OpInfo("fdiv", 2, 1, has_arg=False),
+    Op.IREM: OpInfo("irem", 2, 1, has_arg=False),
+    Op.NEG: OpInfo("neg", 1, 1, has_arg=False),
+    Op.I2D: OpInfo("i2d", 1, 1, has_arg=False),
+    Op.D2I: OpInfo("d2i", 1, 1, has_arg=False),
+    Op.SHL: OpInfo("shl", 2, 1, has_arg=False),
+    Op.SHR: OpInfo("shr", 2, 1, has_arg=False),
+    Op.BAND: OpInfo("band", 2, 1, has_arg=False),
+    Op.BOR: OpInfo("bor", 2, 1, has_arg=False),
+    Op.BXOR: OpInfo("bxor", 2, 1, has_arg=False),
+    Op.CMP_LT: OpInfo("cmp_lt", 2, 1, has_arg=False),
+    Op.CMP_LE: OpInfo("cmp_le", 2, 1, has_arg=False),
+    Op.CMP_GT: OpInfo("cmp_gt", 2, 1, has_arg=False),
+    Op.CMP_GE: OpInfo("cmp_ge", 2, 1, has_arg=False),
+    Op.CMP_EQ: OpInfo("cmp_eq", 2, 1, has_arg=False),
+    Op.CMP_NE: OpInfo("cmp_ne", 2, 1, has_arg=False),
+    Op.NOT: OpInfo("not", 1, 1, has_arg=False),
+    Op.CONCAT: OpInfo("concat", 2, 1, has_arg=False),
+    Op.JUMP: OpInfo("jump", 0, 0, is_branch=True, is_terminator=True),
+    Op.JUMP_IF_TRUE: OpInfo("jump_if_true", 1, 0, is_branch=True),
+    Op.JUMP_IF_FALSE: OpInfo("jump_if_false", 1, 0, is_branch=True),
+    Op.RETURN: OpInfo("return", 1, 0, is_terminator=True, has_arg=False),
+    Op.RETURN_VOID: OpInfo("return_void", 0, 0, is_terminator=True, has_arg=False),
+    Op.NEW: OpInfo("new", 0, 1),
+    Op.GETFIELD: OpInfo("getfield", 1, 1),
+    Op.PUTFIELD: OpInfo("putfield", 2, 0),
+    Op.GETSTATIC: OpInfo("getstatic", 0, 1),
+    Op.PUTSTATIC: OpInfo("putstatic", 1, 0),
+    Op.INVOKEVIRTUAL: OpInfo("invokevirtual", VARIABLE, VARIABLE),
+    Op.INVOKESPECIAL: OpInfo("invokespecial", VARIABLE, VARIABLE),
+    Op.INVOKESTATIC: OpInfo("invokestatic", VARIABLE, VARIABLE),
+    Op.INVOKEINTERFACE: OpInfo("invokeinterface", VARIABLE, VARIABLE),
+    Op.INSTANCEOF: OpInfo("instanceof", 1, 1),
+    Op.CHECKCAST: OpInfo("checkcast", 1, 1),
+    Op.NEWARRAY: OpInfo("newarray", 1, 1),
+    Op.ALOAD: OpInfo("aload", 2, 1, has_arg=False),
+    Op.ASTORE: OpInfo("astore", 3, 0, has_arg=False),
+    Op.ARRAYLEN: OpInfo("arraylen", 1, 1, has_arg=False),
+    Op.INTRINSIC: OpInfo("intrinsic", VARIABLE, VARIABLE),
+    Op.NOP: OpInfo("nop", 0, 0, has_arg=False),
+}
+
+#: Opcodes that invoke another method (share call-shaped arguments).
+CALL_OPS = frozenset(
+    {Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC, Op.INVOKEINTERFACE}
+)
+
+#: Opcodes that end a basic block.
+BRANCH_OPS = frozenset(
+    {Op.JUMP, Op.JUMP_IF_TRUE, Op.JUMP_IF_FALSE, Op.RETURN, Op.RETURN_VOID}
+)
+
+#: Commutative binary arithmetic opcodes (used by algebraic simplification).
+COMMUTATIVE_OPS = frozenset({Op.ADD, Op.MUL, Op.BAND, Op.BOR, Op.BXOR,
+                             Op.CMP_EQ, Op.CMP_NE})
+
+
+def mnemonic(op: Op) -> str:
+    """Return the assembler mnemonic for ``op``."""
+    return OP_INFO[op].mnemonic

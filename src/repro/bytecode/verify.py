@@ -1,0 +1,156 @@
+"""Structural bytecode verifier.
+
+Checks the properties the rest of the system relies on:
+
+* every branch target is a valid instruction index;
+* execution cannot fall off the end of the code array;
+* the operand-stack depth at each instruction is consistent across all
+  paths reaching it (a requirement for the stack-to-register lowering in
+  :mod:`repro.opt.lowering`);
+* local indices are within ``max_locals``;
+* call/intrinsic argument counts are non-negative.
+
+The verifier returns the per-instruction entry stack depth map, which the
+IR lowering reuses.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.classfile import MethodInfo
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import CALL_OPS, OP_INFO, Op
+
+
+class VerifyError(Exception):
+    """Raised when a method body violates bytecode structural rules."""
+
+    def __init__(self, method: MethodInfo, index: int, message: str) -> None:
+        self.method = method
+        self.index = index
+        super().__init__(f"{method.qualified_name} @{index}: {message}")
+
+
+def stack_effect(instr: Instr, *, returns_value: bool | None = None) -> tuple[int, int]:
+    """Return ``(pops, pushes)`` for ``instr``.
+
+    For call instructions the pop count comes from the encoded ``nargs``;
+    whether the call pushes depends on the callee's return type, which the
+    verifier does not know — callers pass ``returns_value`` when they do.
+    The verifier itself treats unknown-return calls as pushing a value if
+    followed by anything other than an immediate POP-less terminator; to
+    stay sound it instead requires the *frontend* to emit an explicit POP
+    after void-returning expression statements, so here a call is assumed
+    to push exactly when ``returns_value`` is not ``False``.
+    """
+    info = OP_INFO[instr.op]
+    if instr.op in CALL_OPS:
+        nargs = instr.arg[2]
+        pushes = 1 if returns_value in (True, None) else 0
+        return nargs, pushes
+    if instr.op is Op.INTRINSIC:
+        nargs = instr.arg[1]
+        pushes = 1 if returns_value in (True, None) else 0
+        return nargs, pushes
+    return info.pops, info.pushes
+
+
+def verify_method(
+    method: MethodInfo,
+    call_returns: dict[int, bool] | None = None,
+) -> list[int]:
+    """Verify ``method`` and return the entry stack depth per instruction.
+
+    Args:
+        method: The method to verify (abstract methods verify trivially).
+        call_returns: Optional map from instruction index to whether the
+            call/intrinsic at that index pushes a result.  When provided
+            (the frontend records this), depth checking is exact.
+
+    Raises:
+        VerifyError: On any structural violation.
+    """
+    if method.is_abstract:
+        return []
+    code = method.code
+    if not code:
+        raise VerifyError(method, 0, "empty code array")
+    call_returns = call_returns or {}
+
+    n = len(code)
+    # Branch-target validity.
+    for i, instr in enumerate(code):
+        if instr.is_branch and instr.op not in (Op.RETURN, Op.RETURN_VOID):
+            if not isinstance(instr.arg, int) or not (0 <= instr.arg < n):
+                raise VerifyError(method, i, f"bad branch target {instr.arg!r}")
+        if instr.op in (Op.LOAD, Op.STORE):
+            if not (0 <= instr.arg < method.max_locals):
+                raise VerifyError(
+                    method, i,
+                    f"local index {instr.arg} out of range "
+                    f"(max_locals={method.max_locals})",
+                )
+        if instr.op in CALL_OPS or instr.op is Op.INTRINSIC:
+            nargs = instr.arg[2] if instr.op in CALL_OPS else instr.arg[1]
+            if nargs < 0:
+                raise VerifyError(method, i, f"negative arg count {nargs}")
+
+    # Fall-through-off-the-end check.
+    last = code[-1]
+    if not OP_INFO[last.op].is_terminator and last.op not in (
+        Op.JUMP_IF_TRUE,
+        Op.JUMP_IF_FALSE,
+    ):
+        raise VerifyError(method, n - 1, "control can fall off end of code")
+    if last.op in (Op.JUMP_IF_TRUE, Op.JUMP_IF_FALSE):
+        raise VerifyError(method, n - 1, "conditional branch at end of code")
+
+    # Stack-depth dataflow.
+    depths: list[int | None] = [None] * n
+    depths[0] = 0
+    work = [0]
+    while work:
+        i = work.pop()
+        depth = depths[i]
+        assert depth is not None
+        instr = code[i]
+        returns_value = call_returns.get(i)
+        pops, pushes = stack_effect(instr, returns_value=returns_value)
+        if depth < pops:
+            raise VerifyError(
+                method, i, f"stack underflow (depth={depth}, pops={pops})"
+            )
+        out = depth - pops + pushes
+        successors: list[int] = []
+        if instr.op is Op.JUMP:
+            successors = [instr.arg]
+        elif instr.op in (Op.JUMP_IF_TRUE, Op.JUMP_IF_FALSE):
+            successors = [instr.arg, i + 1]
+        elif instr.op in (Op.RETURN, Op.RETURN_VOID):
+            successors = []
+        else:
+            successors = [i + 1]
+        for s in successors:
+            if depths[s] is None:
+                depths[s] = out
+                work.append(s)
+            elif depths[s] != out:
+                raise VerifyError(
+                    method, s,
+                    f"inconsistent stack depth at join: {depths[s]} vs {out}",
+                )
+    return [d if d is not None else 0 for d in depths]
+
+
+def verify_program(program, call_returns_by_method=None) -> None:
+    """Verify every concrete method in ``program``.
+
+    Args:
+        program: A :class:`~repro.bytecode.classfile.ProgramUnit`.
+        call_returns_by_method: Optional ``{qualified_name: {index: bool}}``.
+    """
+    call_returns_by_method = call_returns_by_method or {}
+    for method in program.all_methods():
+        if not method.is_abstract:
+            verify_method(
+                method, call_returns_by_method.get(method.qualified_name)
+            )

@@ -1,0 +1,27 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.harness.experiment import (
+    Comparison,
+    Measurement,
+    WarehouseComparison,
+    WarehouseSeries,
+    compare_warehouses,
+    compare_workload,
+    run_warehouses,
+    run_workload,
+)
+from repro.harness.tables import Table1Row, format_table1, table1
+
+__all__ = [
+    "Comparison",
+    "Measurement",
+    "Table1Row",
+    "WarehouseComparison",
+    "WarehouseSeries",
+    "compare_warehouses",
+    "compare_workload",
+    "format_table1",
+    "run_warehouses",
+    "run_workload",
+    "table1",
+]

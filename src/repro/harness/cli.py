@@ -1,0 +1,164 @@
+"""Command-line interface: ``jx <subcommand>``.
+
+Subcommands:
+
+* ``run FILE``            — compile and execute a Jx source file;
+* ``disasm FILE``         — print the program's bytecode;
+* ``workloads``           — list registered benchmark workloads;
+* ``plan WORKLOAD``       — run the offline pipeline, print the plan;
+* ``compare WORKLOAD``    — measure mutation on vs. off;
+* ``table1``              — regenerate Table 1;
+* ``fig N``               — regenerate Figure N (9..15).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lang import compile_source
+from repro.mutation import build_mutation_plan
+from repro.vm.runtime import VM
+from repro.workloads.registry import all_workloads, get_workload
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    unit = compile_source(source, filename=args.file)
+    plan = None
+    if args.mutate:
+        plan = build_mutation_plan(source)
+    vm = VM(unit, mutation_plan=plan)
+    result = vm.run()
+    sys.stdout.write(result.output)
+    if args.stats:
+        print(f"--- wall: {result.wall_seconds:.3f}s "
+              f"compile: {result.compile_seconds:.3f}s", file=sys.stderr)
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.bytecode import disassemble_program
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    unit = compile_source(source, filename=args.file)
+    print(disassemble_program(unit))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for spec in all_workloads():
+        print(f"{spec.name:12s} {spec.description}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    plan = build_mutation_plan(
+        spec.profile_source(), entry_class=spec.entry_class
+    )
+    print(plan.describe())
+    if args.json:
+        from repro.profiling import plan_to_json
+
+        print(plan_to_json(plan))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import compare_workload
+
+    spec = get_workload(args.workload)
+    comparison = compare_workload(spec, repeats=args.repeats)
+    print(f"{spec.name}: baseline {comparison.baseline.wall_seconds:.3f}s, "
+          f"mutated {comparison.mutated.wall_seconds:.3f}s, "
+          f"speedup {comparison.speedup:+.1%}, "
+          f"outputs match: {comparison.outputs_match}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.harness.tables import format_table1, table1
+
+    print(format_table1(table1()))
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro.harness import figures as F
+
+    n = args.number
+    if n == 9:
+        print(F.format_rows("Figure 9: speedup", F.fig9_speedups()))
+    elif n == 10:
+        print(F.format_rows("Figure 10: code size increase",
+                            F.fig10_code_size()))
+    elif n == 11:
+        print(F.format_rows("Figure 11: compile time increase",
+                            F.fig11_compile_time(),
+                            extra_keys=("compile_fraction_pct",)))
+    elif n == 12:
+        print(F.format_rows("Figure 12: TIB space increase (bytes)",
+                            F.fig12_tib_space(), unit="B",
+                            extra_keys=("relative_pct",)))
+    elif n == 13:
+        print(F.format_warehouses("Figure 13: JBB2000 warehouses",
+                                  F.fig13_jbb2000_warehouses()))
+    elif n == 14:
+        print(F.format_warehouses("Figure 14: JBB2000 accelerated",
+                                  F.fig14_jbb2000_accelerated()))
+    elif n == 15:
+        print(F.format_warehouses("Figure 15: JBB2005 warehouses",
+                                  F.fig15_jbb2005_warehouses()))
+    else:
+        print(f"unknown figure {n}; available: 9-15", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="jx",
+        description="JxVM: dynamic class hierarchy mutation reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="compile and run a Jx source file")
+    p.add_argument("file")
+    p.add_argument("--mutate", action="store_true",
+                   help="run the offline pipeline and enable mutation")
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble a Jx source file")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("workloads", help="list benchmark workloads")
+    p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser("plan", help="print a workload's mutation plan")
+    p.add_argument("workload")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("compare", help="measure mutation on vs off")
+    p.add_argument("workload")
+    p.add_argument("--repeats", type=int, default=2)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("fig", help="regenerate a figure (9-15)")
+    p.add_argument("number", type=int)
+    p.set_defaults(fn=_cmd_fig)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,372 @@
+"""Experiment driver: run workloads with and without mutation.
+
+The measurement protocol follows the paper's §6: multiple runs, best
+repeatable result reported; mutation-on and mutation-off runs use
+identical adaptive-system settings so the only difference is the
+mutation plan.  For the SPECjbb experiments the VM persists across
+warehouse slices, so compilation and mutation effects play out over
+time exactly as in Figures 13–15.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lang import compile_source
+from repro.mutation import MutationConfig, MutationPlan, build_mutation_plan
+from repro.vm.adaptive import AdaptiveConfig
+from repro.vm.runtime import VM
+from repro.workloads.registry import WorkloadSpec
+
+
+@dataclass
+class Measurement:
+    """One measured run (best wall time over repeats; stats from the
+    last VM)."""
+
+    workload: str
+    mutated: bool
+    wall_seconds: float
+    compile_seconds: float
+    opt_code_bytes: int
+    special_code_bytes: int
+    special_compile_seconds: float
+    class_tib_bytes: int
+    special_tib_bytes: int
+    tib_swaps: int
+    special_versions: int
+    output: str
+    objects_allocated: int = 0
+
+    @property
+    def compile_fraction(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.compile_seconds / self.wall_seconds
+
+
+def _adaptive_config(
+    plan: MutationPlan | None, accelerated: bool
+) -> AdaptiveConfig:
+    accel: frozenset[str] = frozenset()
+    if accelerated and plan is not None:
+        names = []
+        for class_plan in plan.classes.values():
+            for key in class_plan.mutable_methods:
+                names.append(f"{class_plan.class_name}.{key}")
+        accel = frozenset(names)
+    return AdaptiveConfig(accelerated=accel)
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    plan: MutationPlan | None = None,
+    repeats: int = 2,
+    accelerated: bool = False,
+    seed: int = 42,
+    scale: float | None = None,
+) -> Measurement:
+    """Run one workload configuration; returns the best-of-N measurement."""
+    source = spec.source(scale if scale is not None else spec.bench_scale)
+    best_wall = float("inf")
+    vm: VM | None = None
+    output = ""
+    for _ in range(max(1, repeats)):
+        unit = compile_source(
+            source,
+            filename=f"<{spec.name}>",
+            entry_class=spec.entry_class,
+            entry_method=spec.entry_method,
+        )
+        vm = VM(
+            unit,
+            mutation_plan=plan,
+            adaptive_config=_adaptive_config(plan, accelerated),
+            seed=seed,
+        )
+        result = vm.run()
+        output = result.output
+        best_wall = min(best_wall, result.wall_seconds)
+    assert vm is not None
+    stats = vm.compile_stats
+    manager = vm.mutation_manager
+    return Measurement(
+        workload=spec.name,
+        mutated=plan is not None,
+        wall_seconds=best_wall,
+        compile_seconds=stats.total_seconds,
+        opt_code_bytes=stats.total_code_bytes,
+        special_code_bytes=stats.special_code_bytes,
+        special_compile_seconds=stats.special_seconds,
+        class_tib_bytes=vm.tib_space.class_tib_bytes,
+        special_tib_bytes=vm.tib_space.special_tib_bytes,
+        tib_swaps=manager.tib_swaps if manager else 0,
+        special_versions=(
+            manager.special_versions_compiled if manager else 0
+        ),
+        output=output,
+        objects_allocated=vm.heap.objects_allocated,
+    )
+
+
+@dataclass
+class Comparison:
+    """Mutation-on vs mutation-off for one workload."""
+
+    workload: str
+    baseline: Measurement
+    mutated: Measurement
+    plan: MutationPlan
+
+    @property
+    def speedup(self) -> float:
+        """Fractional speedup: time_off / time_on - 1."""
+        if self.mutated.wall_seconds <= 0:
+            return 0.0
+        return self.baseline.wall_seconds / self.mutated.wall_seconds - 1.0
+
+    @property
+    def code_size_increase(self) -> float:
+        base = self.baseline.opt_code_bytes
+        if base <= 0:
+            return 0.0
+        return (self.mutated.opt_code_bytes - base) / base
+
+    @property
+    def compile_time_increase(self) -> float:
+        base = self.baseline.compile_seconds
+        if base <= 0:
+            return 0.0
+        return (self.mutated.compile_seconds - base) / base
+
+    @property
+    def tib_space_increase_bytes(self) -> int:
+        return self.mutated.special_tib_bytes
+
+    @property
+    def tib_space_increase_relative(self) -> float:
+        base = self.mutated.class_tib_bytes
+        if base <= 0:
+            return 0.0
+        return self.mutated.special_tib_bytes / base
+
+    @property
+    def outputs_match(self) -> bool:
+        return self.baseline.output == self.mutated.output
+
+
+def compare_workload(
+    spec: WorkloadSpec,
+    config: MutationConfig | None = None,
+    repeats: int = 2,
+    seed: int = 42,
+    plan: MutationPlan | None = None,
+) -> Comparison:
+    """Full offline pipeline + measured on/off comparison.
+
+    Baseline and mutated runs are interleaved so machine-load drift
+    affects both sides equally; best-of-N is kept per side (the paper's
+    "best repeatable result" protocol, §6).
+    """
+    if plan is None:
+        plan = build_mutation_plan(
+            spec.profile_source(),
+            entry_class=spec.entry_class,
+            entry_method=spec.entry_method,
+            config=config,
+            seed=seed,
+        )
+    baseline: Measurement | None = None
+    mutated: Measurement | None = None
+    for _ in range(max(1, repeats)):
+        b = run_workload(spec, None, repeats=1, seed=seed)
+        m = run_workload(spec, plan, repeats=1, seed=seed)
+        if baseline is None or b.wall_seconds < baseline.wall_seconds:
+            baseline = b
+        if mutated is None or m.wall_seconds < mutated.wall_seconds:
+            mutated = m
+    assert baseline is not None and mutated is not None
+    return Comparison(
+        workload=spec.name, baseline=baseline, mutated=mutated, plan=plan
+    )
+
+
+# ---------------------------------------------------------------------------
+# Warehouse-over-time experiments (Figures 13-15)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WarehouseSeries:
+    """Per-warehouse throughput for one VM configuration."""
+
+    workload: str
+    mutated: bool
+    accelerated: bool
+    throughputs: list[float] = field(default_factory=list)  # tx/second
+    transactions: list[int] = field(default_factory=list)
+
+
+def run_warehouses(
+    spec: WorkloadSpec,
+    plan: MutationPlan | None,
+    num_warehouses: int = 8,
+    accelerated: bool = False,
+    seed: int = 42,
+    scale: float | None = None,
+) -> WarehouseSeries:
+    """Run ``num_warehouses`` sequential slices on one persistent VM,
+    timing each — the paper's "one warehouse is run eight times"."""
+    if spec.slice_method is None:
+        raise ValueError(f"workload {spec.name} has no slice entry")
+    source = spec.source(scale if scale is not None else spec.bench_scale)
+    unit = compile_source(
+        source, filename=f"<{spec.name}>", entry_class=spec.entry_class
+    )
+    vm = VM(
+        unit,
+        mutation_plan=plan,
+        adaptive_config=_adaptive_config(plan, accelerated),
+        seed=seed,
+    )
+    series = WarehouseSeries(
+        workload=spec.name, mutated=plan is not None, accelerated=accelerated
+    )
+    for _ in range(num_warehouses):
+        start = time.perf_counter()
+        done = vm.call_static(spec.entry_class, spec.slice_method, [])
+        elapsed = time.perf_counter() - start
+        series.transactions.append(int(done))
+        series.throughputs.append(done / elapsed if elapsed > 0 else 0.0)
+    return series
+
+
+@dataclass
+class WarehouseComparison:
+    """Relative throughput change per warehouse, mutation vs. not."""
+
+    workload: str
+    accelerated: bool
+    baseline: WarehouseSeries
+    mutated: WarehouseSeries
+    #: Per-repeat samples: [warehouse][repeat] throughput.
+    base_samples: list[list[float]] = field(default_factory=list)
+    mut_samples: list[list[float]] = field(default_factory=list)
+
+    @property
+    def deltas(self) -> list[float]:
+        """Per-warehouse relative change: median of per-repeat-pair
+        deltas (each pair ran back-to-back, so drift cancels)."""
+        if self.base_samples and self.mut_samples:
+            out = []
+            for base_row, mut_row in zip(self.base_samples,
+                                         self.mut_samples):
+                pair_deltas = sorted(
+                    (m / b - 1.0) if b > 0 else 0.0
+                    for b, m in zip(base_row, mut_row)
+                )
+                out.append(pair_deltas[len(pair_deltas) // 2])
+            return out
+        return [
+            (m / b - 1.0) if b > 0 else 0.0
+            for b, m in zip(
+                self.baseline.throughputs, self.mutated.throughputs
+            )
+        ]
+
+    def steady_state_delta(self, warmup: int = 3) -> float:
+        """Mean per-warehouse delta after the warm-up window — the
+        paper's steady-state-warehouse performance metric (§7.1)."""
+        tail = self.deltas[warmup:]
+        return sum(tail) / len(tail) if tail else 0.0
+
+
+def compare_warehouses(
+    spec: WorkloadSpec,
+    config: MutationConfig | None = None,
+    num_warehouses: int = 8,
+    accelerated: bool = False,
+    seed: int = 42,
+    plan: MutationPlan | None = None,
+    scale: float | None = None,
+    repeats: int = 3,
+) -> WarehouseComparison:
+    """Interleaved warehouse measurement.
+
+    Both VMs persist for the whole sequence (warm-up effects play out
+    exactly as in the paper's Figures 13–15) and are advanced in
+    lockstep: for each warehouse index the baseline slice and the
+    mutated slice run back-to-back, so slow machine-load drift cancels
+    out of the per-warehouse delta.  The whole 8-warehouse experiment is
+    repeated ``repeats`` times with fresh VM pairs and the median
+    throughput per warehouse index is reported.
+    """
+    if plan is None:
+        plan = build_mutation_plan(
+            spec.profile_source(),
+            entry_class=spec.entry_class,
+            entry_method=spec.entry_method,
+            config=config,
+            seed=seed,
+        )
+    if spec.slice_method is None:
+        raise ValueError(f"workload {spec.name} has no slice entry")
+    source = spec.source(scale if scale is not None else spec.bench_scale)
+
+    base_samples: list[list[float]] = [[] for _ in range(num_warehouses)]
+    mut_samples: list[list[float]] = [[] for _ in range(num_warehouses)]
+    base_tx = [0] * num_warehouses
+    mut_tx = [0] * num_warehouses
+    for _ in range(max(1, repeats)):
+        base_unit = compile_source(source, entry_class=spec.entry_class)
+        mut_unit = compile_source(source, entry_class=spec.entry_class)
+        base_vm = VM(base_unit, seed=seed)
+        mut_vm = VM(
+            mut_unit,
+            mutation_plan=plan,
+            adaptive_config=_adaptive_config(plan, accelerated),
+            seed=seed,
+        )
+        for wh in range(num_warehouses):
+            start = time.perf_counter()
+            done_b = base_vm.call_static(
+                spec.entry_class, spec.slice_method, []
+            )
+            elapsed_b = time.perf_counter() - start
+            start = time.perf_counter()
+            done_m = mut_vm.call_static(
+                spec.entry_class, spec.slice_method, []
+            )
+            elapsed_m = time.perf_counter() - start
+            base_samples[wh].append(done_b / elapsed_b)
+            mut_samples[wh].append(done_m / elapsed_m)
+            base_tx[wh] = int(done_b)
+            mut_tx[wh] = int(done_m)
+
+    def median(values: list[float]) -> float:
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    baseline = WarehouseSeries(
+        workload=spec.name,
+        mutated=False,
+        accelerated=False,
+        throughputs=[median(s) for s in base_samples],
+        transactions=base_tx,
+    )
+    mutated = WarehouseSeries(
+        workload=spec.name,
+        mutated=True,
+        accelerated=accelerated,
+        throughputs=[median(s) for s in mut_samples],
+        transactions=mut_tx,
+    )
+    return WarehouseComparison(
+        workload=spec.name,
+        accelerated=accelerated,
+        baseline=baseline,
+        mutated=mutated,
+        base_samples=base_samples,
+        mut_samples=mut_samples,
+    )

@@ -1,0 +1,126 @@
+"""The Jx language frontend: lexer, parser, semantic analysis, codegen.
+
+The one-call entry point is :func:`compile_source`, which turns Jx source
+text into a verified, linkable
+:class:`~repro.bytecode.classfile.ProgramUnit` (including the standard
+library).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.classfile import ClassInfo, ProgramUnit
+from repro.bytecode.verify import verify_program
+from repro.lang.codegen import generate
+from repro.lang.errors import JxError, LexError, ParseError, SemanticError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_source
+from repro.lang.semantic import analyze
+from repro.lang.stdlib import STDLIB_SOURCE, build_prebuilt_classes
+from repro.vm.intrinsics import intrinsic_returns
+
+__all__ = [
+    "JxError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "compile_source",
+    "compile_stdlib",
+    "parse_source",
+    "tokenize",
+]
+
+
+def compile_stdlib() -> list[ClassInfo]:
+    """Compile the full standard library (prebuilt + self-hosted layers).
+
+    Returns a fresh list of ClassInfo objects each call: linked programs
+    carry resolution state inside their instructions, so class objects
+    must never be shared between two VMs.
+    """
+    prebuilt = build_prebuilt_classes()
+    stdlib_ast = parse_source(STDLIB_SOURCE, "<stdlib>")
+    unit = analyze(stdlib_ast, prebuilt)
+    generate(stdlib_ast, unit)
+    return list(unit.classes.values())
+
+
+def compile_source(
+    source: str,
+    filename: str = "<source>",
+    entry_class: str = "Main",
+    entry_method: str = "main",
+    include_stdlib: bool = True,
+    verify: bool = True,
+) -> ProgramUnit:
+    """Compile Jx source text to a verified :class:`ProgramUnit`.
+
+    Args:
+        source: Jx source (any number of class/interface declarations).
+        filename: Name used in diagnostics.
+        entry_class: Class holding the program entry point.
+        entry_method: Static void no-arg entry method name.
+        include_stdlib: Link against the standard library (``Sys``,
+            ``Object``, ``StringBuilder``, ...).  Disable only for
+            compiler-internals tests.
+        verify: Run the structural bytecode verifier over the result.
+
+    Raises:
+        JxError: On any lexical, syntactic, or semantic error.
+    """
+    prebuilt = compile_stdlib() if include_stdlib else []
+    program_ast = parse_source(source, filename)
+    unit = analyze(program_ast, prebuilt, entry_class, entry_method)
+    generate(program_ast, unit)
+    if verify:
+        verify_program_with_intrinsics(unit)
+    return unit
+
+
+def verify_program_with_intrinsics(unit: ProgramUnit) -> None:
+    """Verify all method bodies, resolving call/intrinsic result arity.
+
+    Builds the exact per-call ``pushes a value?`` map from resolved method
+    signatures and the intrinsic registry, then delegates to the
+    structural verifier.
+    """
+    from repro.bytecode.opcodes import CALL_OPS, Op
+    from repro.bytecode.verify import verify_method
+
+    returns = intrinsic_returns()
+    for method in unit.all_methods():
+        if method.is_abstract:
+            continue
+        call_returns: dict[int, bool] = {}
+        for i, instr in enumerate(method.code):
+            if instr.op in CALL_OPS:
+                cls_name, key, _ = instr.arg
+                target = unit.lookup_method(cls_name, key)
+                if target is None:
+                    target = _lookup_iface(unit, cls_name, key)
+                if target is None:
+                    raise SemanticError(
+                        f"{method.qualified_name}: unresolvable call target "
+                        f"{cls_name}.{key}"
+                    )
+                call_returns[i] = target.return_type.name != "void"
+            elif instr.op is Op.INTRINSIC:
+                name, _ = instr.arg
+                if name not in returns:
+                    raise SemanticError(
+                        f"{method.qualified_name}: unknown intrinsic {name!r}"
+                    )
+                call_returns[i] = returns[name]
+        verify_method(method, call_returns)
+
+
+def _lookup_iface(unit: ProgramUnit, iface_name: str, key: str):
+    cls = unit.classes.get(iface_name)
+    if cls is None:
+        return None
+    if key in cls.methods:
+        return cls.methods[key]
+    for sup in cls.interface_names:
+        found = _lookup_iface(unit, sup, key)
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,308 @@
+"""Abstract syntax tree for the Jx language.
+
+The semantic pass (:mod:`repro.lang.semantic`) decorates expression nodes
+with a ``jx_type`` attribute and name/call nodes with resolved bindings;
+the code generator reads only those annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.bytecode.classfile import JxType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    """Base class for expressions; ``jx_type`` is set by semantic analysis."""
+
+    jx_type: JxType
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class DoubleLit(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class NullLit(Expr):
+    line: int = 0
+
+
+@dataclass
+class This(Expr):
+    line: int = 0
+
+
+@dataclass
+class Name(Expr):
+    """An identifier; resolution fills ``binding``.
+
+    ``binding`` becomes one of:
+
+    * ``("local", index)``
+    * ``("field", FieldInfo)`` — implicit ``this`` instance field
+    * ``("static_field", FieldInfo)``
+    * ``("class", class_name)`` — only as a call/field receiver
+    """
+
+    ident: str
+    line: int = 0
+    binding: Any = None
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class UnOp(Expr):
+    op: str
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+    line: int = 0
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``receiver.name``; resolution fills ``field_info`` (FieldInfo)."""
+
+    receiver: Expr
+    name: str
+    line: int = 0
+    field_info: Any = None
+    #: True when the receiver is a class name (static field access).
+    is_static: bool = False
+
+
+@dataclass
+class Index(Expr):
+    array: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class MethodCall(Expr):
+    """``receiver.name(args)`` or implicit-receiver ``name(args)``.
+
+    Resolution fills ``dispatch`` with one of ``"virtual"``, ``"special"``,
+    ``"static"``, ``"interface"`` and ``target`` with the resolved
+    :class:`~repro.bytecode.classfile.MethodInfo`.
+    """
+
+    receiver: Optional[Expr]
+    name: str
+    args: list[Expr]
+    line: int = 0
+    dispatch: str = ""
+    target: Any = None
+    #: For super.m(...) calls.
+    is_super: bool = False
+
+
+@dataclass
+class New(Expr):
+    class_name: str
+    args: list[Expr]
+    line: int = 0
+    target: Any = None  # resolved constructor MethodInfo
+
+
+@dataclass
+class NewArray(Expr):
+    elem_type: JxType
+    length: Expr
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    type: JxType
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class InstanceOf(Expr):
+    expr: Expr
+    type: JxType
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: JxType
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+    local_index: int = -1  # set by semantic analysis
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is Name, FieldAccess, or Index."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt]
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    update: Optional[Stmt]
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass
+class CtorCall(Stmt):
+    """Explicit ``super(args);`` or ``this(args);`` as a ctor's first stmt."""
+
+    kind: str  # "super" or "this"
+    args: list[Expr]
+    line: int = 0
+    target: Any = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    type: JxType
+    name: str
+    line: int = 0
+
+
+@dataclass
+class FieldDecl(Node):
+    name: str
+    type: JxType
+    is_static: bool = False
+    access: str = "default"
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class MethodDecl(Node):
+    name: str
+    params: list[Param] = field(default_factory=list)
+    return_type: JxType = JxType("void")
+    body: Optional[Block] = None
+    is_static: bool = False
+    access: str = "public"
+    is_constructor: bool = False
+    line: int = 0
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str
+    super_name: Optional[str] = None
+    interfaces: list[str] = field(default_factory=list)
+    is_interface: bool = False
+    fields: list[FieldDecl] = field(default_factory=list)
+    methods: list[MethodDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Program(Node):
+    classes: list[ClassDecl] = field(default_factory=list)
+    source_name: str = "<source>"

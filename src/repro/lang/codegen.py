@@ -1,0 +1,543 @@
+"""Bytecode generation from the type-annotated Jx AST.
+
+Runs after :mod:`repro.lang.semantic`; reads only the annotations that
+pass left behind (``jx_type``, ``binding``, ``dispatch``/``target``,
+``local_index``, ctor-chaining info) and fills each
+:class:`~repro.bytecode.classfile.MethodInfo` with its code array.
+
+Notable lowering decisions:
+
+* ``&&``/``||`` short-circuit through labels (no boolean AND/OR opcodes);
+* compound assignments evaluate their target location exactly once
+  (receivers are DUPed, array/index operands are spilled to temps);
+* instance field initializers are inlined after the super-constructor
+  call in every constructor that does not chain to ``this(...)``;
+* static field initializers become a synthesized ``<clinit>`` method,
+  executed by the VM at class-initialization time;
+* non-void methods get an unreachable default-value return appended so
+  the structural verifier's fall-off-the-end rule is satisfied.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.classfile import (
+    CONSTRUCTOR_NAME,
+    DOUBLE,
+    INT,
+    STATIC_INIT_NAME,
+    STRING,
+    VOID,
+    ClassInfo,
+    JxType,
+    MethodInfo,
+    ProgramUnit,
+)
+from repro.bytecode.builder import CodeBuilder, Label
+from repro.bytecode.opcodes import Op
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+
+_CMP_OPS = {
+    "<": Op.CMP_LT,
+    "<=": Op.CMP_LE,
+    ">": Op.CMP_GT,
+    ">=": Op.CMP_GE,
+    "==": Op.CMP_EQ,
+    "!=": Op.CMP_NE,
+}
+_BIT_OPS = {
+    "<<": Op.SHL,
+    ">>": Op.SHR,
+    "&": Op.BAND,
+    "|": Op.BOR,
+    "^": Op.BXOR,
+}
+
+
+class CodeGenerator:
+    """Generates bytecode for every method of an analyzed program."""
+
+    def __init__(self, program_ast: ast.Program, unit: ProgramUnit) -> None:
+        self.program_ast = program_ast
+        self.unit = unit
+        # (break label, continue label) stack for the current method.
+        self._loops: list[tuple[Label, Label]] = []
+        self._builder: CodeBuilder | None = None
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def generate(self) -> ProgramUnit:
+        for decl in self.program_ast.classes:
+            if decl.is_interface:
+                continue
+            cls = self.unit.classes[decl.name]
+            for mdecl in decl.methods:
+                self._gen_method(cls, decl, mdecl)
+            self._gen_clinit(cls, decl)
+        return self.unit
+
+    @property
+    def cb(self) -> CodeBuilder:
+        assert self._builder is not None
+        return self._builder
+
+    def _method_info(self, cls: ClassInfo, mdecl: ast.MethodDecl) -> MethodInfo:
+        key = (
+            f"{CONSTRUCTOR_NAME}/{len(mdecl.params)}"
+            if mdecl.is_constructor
+            else mdecl.name
+        )
+        return cls.methods[key]
+
+    def _gen_method(
+        self, cls: ClassInfo, decl: ast.ClassDecl, mdecl: ast.MethodDecl
+    ) -> None:
+        if mdecl.body is None:
+            return
+        info = self._method_info(cls, mdecl)
+        env_locals = getattr(mdecl, "env_max_locals", info.num_args)
+        self._builder = CodeBuilder(num_params=max(env_locals, info.num_args))
+        self._loops = []
+
+        if mdecl.is_constructor:
+            self._gen_ctor_prologue(cls, decl, mdecl)
+        for stmt in mdecl.body.stmts:
+            self._gen_stmt(stmt)
+        self._append_fallback_return(info)
+
+        code, max_locals = self.cb.finish()
+        info.code = code
+        info.max_locals = max_locals
+        self._builder = None
+
+    def _gen_ctor_prologue(
+        self, cls: ClassInfo, decl: ast.ClassDecl, mdecl: ast.MethodDecl
+    ) -> None:
+        first = mdecl.body.stmts[0] if mdecl.body.stmts else None
+        chains_to_this = bool(getattr(mdecl, "chains_to_this", False))
+        if isinstance(first, ast.CtorCall):
+            self.cb.load(0)
+            for arg in first.args:
+                self._gen_expr(arg)
+            target = first.target
+            self.cb.invokespecial(
+                target.declaring_class, target.key, target.num_args
+            )
+            mdecl.body.stmts = mdecl.body.stmts[1:]
+        else:
+            implicit = getattr(mdecl, "implicit_super", None)
+            if implicit is not None:
+                self.cb.load(0)
+                self.cb.invokespecial(
+                    implicit.declaring_class, implicit.key, 1
+                )
+        if not chains_to_this:
+            for fdecl in decl.fields:
+                if fdecl.is_static or fdecl.init is None:
+                    continue
+                self.cb.load(0)
+                self._gen_expr(fdecl.init)
+                self.cb.putfield(cls.name, fdecl.name)
+
+    def _gen_clinit(self, cls: ClassInfo, decl: ast.ClassDecl) -> None:
+        static_inits = [
+            f for f in decl.fields if f.is_static and f.init is not None
+        ]
+        if not static_inits:
+            return
+        self._builder = CodeBuilder()
+        for fdecl in static_inits:
+            self._gen_expr(fdecl.init)
+            self.cb.putstatic(cls.name, fdecl.name)
+        self.cb.emit(Op.RETURN_VOID)
+        code, max_locals = self.cb.finish()
+        info = MethodInfo(
+            name=STATIC_INIT_NAME,
+            param_types=[],
+            return_type=VOID,
+            declaring_class=cls.name,
+            is_static=True,
+            access="private",
+            code=code,
+            max_locals=max_locals,
+        )
+        cls.add_method(info)
+        self._builder = None
+
+    def _append_fallback_return(self, info: MethodInfo) -> None:
+        code = self.cb.code
+        if code and code[-1].op in (Op.RETURN, Op.RETURN_VOID):
+            # Even after a trailing return, a control construct whose
+            # arms all return leaves its join label dangling one past
+            # the end; such (unreachable) branch targets still need a
+            # landing instruction.
+            n = len(code)
+            dangling = any(
+                instr.is_branch
+                and isinstance(instr.arg, int)
+                and instr.arg >= n
+                for instr in code
+            )
+            if not dangling:
+                return
+        if info.return_type == VOID or info.is_constructor:
+            self.cb.emit(Op.RETURN_VOID)
+        else:
+            # Unreachable if the program returns on all paths; keeps the
+            # verifier's fall-off-the-end rule satisfied.
+            self.cb.const(info.return_type.default_value())
+            self.cb.emit(Op.RETURN)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        self.cb.set_line(stmt.line)
+        if isinstance(stmt, ast.Block):
+            for s in stmt.stmts:
+                self._gen_stmt(s)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._gen_expr(stmt.init)
+            else:
+                self.cb.const(stmt.type.default_value())
+            self.cb.store(stmt.local_index)
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+                self.cb.emit(Op.RETURN)
+            else:
+                self.cb.emit(Op.RETURN_VOID)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+            if stmt.expr.jx_type != VOID:
+                self.cb.emit(Op.POP)
+        elif isinstance(stmt, ast.Break):
+            self.cb.jump(self._loops[-1][0])
+        elif isinstance(stmt, ast.Continue):
+            self.cb.jump(self._loops[-1][1])
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot generate {stmt!r}", stmt.line)
+
+    def _binop_opcode(self, op: str, operand_type: JxType) -> Op:
+        if op == "+":
+            return Op.ADD
+        if op == "-":
+            return Op.SUB
+        if op == "*":
+            return Op.MUL
+        if op == "/":
+            return Op.IDIV if operand_type == INT else Op.FDIV
+        if op == "%":
+            return Op.IREM
+        if op in _BIT_OPS:
+            return _BIT_OPS[op]
+        raise SemanticError(f"no opcode for operator '{op}'")
+
+    def _gen_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        op = getattr(stmt, "compound_op", None)
+        if op is None:
+            self._gen_plain_assign(target, stmt.value)
+        else:
+            self._gen_compound_assign(target, op, stmt.value)
+
+    def _gen_plain_assign(self, target: ast.Expr, value: ast.Expr) -> None:
+        if isinstance(target, ast.Name):
+            kind, payload = target.binding
+            if kind == "local":
+                self._gen_expr(value)
+                self.cb.store(payload)
+            elif kind == "field":
+                self.cb.load(0)
+                self._gen_expr(value)
+                self.cb.putfield(payload.declaring_class, payload.name)
+            else:  # static_field
+                self._gen_expr(value)
+                self.cb.putstatic(payload.declaring_class, payload.name)
+        elif isinstance(target, ast.FieldAccess):
+            finfo = target.field_info
+            if target.is_static:
+                self._gen_expr(value)
+                self.cb.putstatic(finfo.declaring_class, finfo.name)
+            else:
+                self._gen_expr(target.receiver)
+                self._gen_expr(value)
+                self.cb.putfield(finfo.declaring_class, finfo.name)
+        elif isinstance(target, ast.Index):
+            self._gen_expr(target.array)
+            self._gen_expr(target.index)
+            self._gen_expr(value)
+            self.cb.emit(Op.ASTORE)
+        else:  # pragma: no cover - parser validated lvalues
+            raise SemanticError("invalid assignment target", target.line)
+
+    def _emit_compound_op(
+        self, op: str, target_type: JxType, value: ast.Expr
+    ) -> None:
+        """With the current value on the stack, apply ``op`` with ``value``."""
+        self._gen_expr(value)
+        if target_type == STRING and op == "+":
+            self.cb.emit(Op.CONCAT)
+        else:
+            self.cb.emit(self._binop_opcode(op, target_type))
+
+    def _gen_compound_assign(
+        self, target: ast.Expr, op: str, value: ast.Expr
+    ) -> None:
+        if isinstance(target, ast.Name):
+            kind, payload = target.binding
+            if kind == "local":
+                self.cb.load(payload)
+                self._emit_compound_op(op, target.jx_type, value)
+                self.cb.store(payload)
+            elif kind == "field":
+                self.cb.load(0)
+                self.cb.emit(Op.DUP)
+                self.cb.getfield(payload.declaring_class, payload.name)
+                self._emit_compound_op(op, target.jx_type, value)
+                self.cb.putfield(payload.declaring_class, payload.name)
+            else:  # static_field
+                self.cb.getstatic(payload.declaring_class, payload.name)
+                self._emit_compound_op(op, target.jx_type, value)
+                self.cb.putstatic(payload.declaring_class, payload.name)
+        elif isinstance(target, ast.FieldAccess):
+            finfo = target.field_info
+            if target.is_static:
+                self.cb.getstatic(finfo.declaring_class, finfo.name)
+                self._emit_compound_op(op, target.jx_type, value)
+                self.cb.putstatic(finfo.declaring_class, finfo.name)
+            else:
+                self._gen_expr(target.receiver)
+                self.cb.emit(Op.DUP)
+                self.cb.getfield(finfo.declaring_class, finfo.name)
+                self._emit_compound_op(op, target.jx_type, value)
+                self.cb.putfield(finfo.declaring_class, finfo.name)
+        elif isinstance(target, ast.Index):
+            arr_tmp = self.cb.alloc_local()
+            idx_tmp = self.cb.alloc_local()
+            self._gen_expr(target.array)
+            self.cb.store(arr_tmp)
+            self._gen_expr(target.index)
+            self.cb.store(idx_tmp)
+            self.cb.load(arr_tmp)
+            self.cb.load(idx_tmp)
+            self.cb.load(arr_tmp)
+            self.cb.load(idx_tmp)
+            self.cb.emit(Op.ALOAD)
+            self._emit_compound_op(op, target.jx_type, value)
+            self.cb.emit(Op.ASTORE)
+        else:  # pragma: no cover
+            raise SemanticError("invalid assignment target", target.line)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        else_label = self.cb.new_label("else")
+        end_label = self.cb.new_label("endif")
+        self._gen_expr(stmt.cond)
+        self.cb.jump_if_false(else_label)
+        self._gen_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self.cb.jump(end_label)
+            self.cb.place(else_label)
+            self._gen_stmt(stmt.otherwise)
+            self.cb.place(end_label)
+        else:
+            self.cb.place(else_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        cond_label = self.cb.new_label("while.cond")
+        end_label = self.cb.new_label("while.end")
+        self.cb.place(cond_label)
+        self._gen_expr(stmt.cond)
+        self.cb.jump_if_false(end_label)
+        self._loops.append((end_label, cond_label))
+        self._gen_stmt(stmt.body)
+        self._loops.pop()
+        self.cb.jump(cond_label)
+        self.cb.place(end_label)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        cond_label = self.cb.new_label("for.cond")
+        update_label = self.cb.new_label("for.update")
+        end_label = self.cb.new_label("for.end")
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        self.cb.place(cond_label)
+        if stmt.cond is not None:
+            self._gen_expr(stmt.cond)
+            self.cb.jump_if_false(end_label)
+        self._loops.append((end_label, update_label))
+        self._gen_stmt(stmt.body)
+        self._loops.pop()
+        self.cb.place(update_label)
+        if stmt.update is not None:
+            self._gen_stmt(stmt.update)
+        self.cb.jump(cond_label)
+        self.cb.place(end_label)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLit, ast.DoubleLit, ast.StringLit,
+                             ast.BoolLit)):
+            self.cb.const(expr.value)
+        elif isinstance(expr, ast.NullLit):
+            self.cb.const(None)
+        elif isinstance(expr, ast.This):
+            self.cb.load(0)
+        elif isinstance(expr, ast.Name):
+            self._gen_name(expr)
+        elif isinstance(expr, ast.BinOp):
+            self._gen_binop(expr)
+        elif isinstance(expr, ast.UnOp):
+            self._gen_expr(expr.operand)
+            self.cb.emit(Op.NEG if expr.op == "-" else Op.NOT)
+        elif isinstance(expr, ast.Ternary):
+            self._gen_ternary(expr)
+        elif isinstance(expr, ast.FieldAccess):
+            self._gen_field_access(expr)
+        elif isinstance(expr, ast.Index):
+            self._gen_expr(expr.array)
+            self._gen_expr(expr.index)
+            self.cb.emit(Op.ALOAD)
+        elif isinstance(expr, ast.MethodCall):
+            self._gen_call(expr)
+        elif isinstance(expr, ast.New):
+            self._gen_new(expr)
+        elif isinstance(expr, ast.NewArray):
+            self._gen_expr(expr.length)
+            self.cb.emit(Op.NEWARRAY, str(expr.elem_type))
+        elif isinstance(expr, ast.Cast):
+            self._gen_cast(expr)
+        elif isinstance(expr, ast.InstanceOf):
+            self._gen_expr(expr.expr)
+            self.cb.emit(Op.INSTANCEOF, expr.type.name)
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot generate {expr!r}", expr.line)
+
+    def _gen_name(self, expr: ast.Name) -> None:
+        kind, payload = expr.binding
+        if kind == "local":
+            self.cb.load(payload)
+        elif kind == "field":
+            self.cb.load(0)
+            self.cb.getfield(payload.declaring_class, payload.name)
+        else:  # static_field
+            self.cb.getstatic(payload.declaring_class, payload.name)
+
+    def _gen_binop(self, expr: ast.BinOp) -> None:
+        if expr.op in ("&&", "||"):
+            self._gen_shortcircuit(expr)
+            return
+        self._gen_expr(expr.left)
+        self._gen_expr(expr.right)
+        if getattr(expr, "is_concat", False):
+            self.cb.emit(Op.CONCAT)
+        elif expr.op in _CMP_OPS:
+            self.cb.emit(_CMP_OPS[expr.op])
+        else:
+            operand_type = expr.left.jx_type
+            self.cb.emit(self._binop_opcode(expr.op, operand_type))
+
+    def _gen_shortcircuit(self, expr: ast.BinOp) -> None:
+        short_label = self.cb.new_label("sc.short")
+        end_label = self.cb.new_label("sc.end")
+        self._gen_expr(expr.left)
+        if expr.op == "&&":
+            self.cb.jump_if_false(short_label)
+        else:
+            self.cb.jump_if_true(short_label)
+        self._gen_expr(expr.right)
+        self.cb.jump(end_label)
+        self.cb.place(short_label)
+        self.cb.const(expr.op == "||")
+        self.cb.place(end_label)
+
+    def _gen_ternary(self, expr: ast.Ternary) -> None:
+        else_label = self.cb.new_label("tern.else")
+        end_label = self.cb.new_label("tern.end")
+        self._gen_expr(expr.cond)
+        self.cb.jump_if_false(else_label)
+        self._gen_expr(expr.then)
+        self.cb.jump(end_label)
+        self.cb.place(else_label)
+        self._gen_expr(expr.otherwise)
+        self.cb.place(end_label)
+
+    def _gen_field_access(self, expr: ast.FieldAccess) -> None:
+        if getattr(expr, "is_arraylen", False):
+            self._gen_expr(expr.receiver)
+            self.cb.emit(Op.ARRAYLEN)
+            return
+        finfo = expr.field_info
+        if expr.is_static:
+            self.cb.getstatic(finfo.declaring_class, finfo.name)
+        else:
+            self._gen_expr(expr.receiver)
+            self.cb.getfield(finfo.declaring_class, finfo.name)
+
+    def _gen_call(self, expr: ast.MethodCall) -> None:
+        target = expr.target
+        if expr.dispatch == "static":
+            for arg in expr.args:
+                self._gen_expr(arg)
+            self.cb.invokestatic(
+                target.declaring_class, target.key, target.num_args
+            )
+            return
+        # Instance dispatch: push the receiver first.
+        if expr.receiver is not None:
+            self._gen_expr(expr.receiver)
+        else:
+            self.cb.load(0)
+        for arg in expr.args:
+            self._gen_expr(arg)
+        nargs = target.num_args
+        if expr.dispatch == "virtual":
+            self.cb.invokevirtual(target.declaring_class, target.key, nargs)
+        elif expr.dispatch == "special":
+            self.cb.invokespecial(target.declaring_class, target.key, nargs)
+        elif expr.dispatch == "interface":
+            self.cb.invokeinterface(
+                target.declaring_class, target.key, nargs
+            )
+        else:  # pragma: no cover
+            raise SemanticError(
+                f"unknown dispatch kind {expr.dispatch!r}", expr.line
+            )
+
+    def _gen_new(self, expr: ast.New) -> None:
+        self.cb.emit(Op.NEW, expr.class_name)
+        self.cb.emit(Op.DUP)
+        for arg in expr.args:
+            self._gen_expr(arg)
+        ctor = expr.target
+        self.cb.invokespecial(expr.class_name, ctor.key, ctor.num_args)
+
+    def _gen_cast(self, expr: ast.Cast) -> None:
+        self._gen_expr(expr.expr)
+        kind = getattr(expr, "kind", "noop")
+        if kind == "widen":
+            self.cb.emit(Op.I2D)
+        elif kind == "narrow":
+            self.cb.emit(Op.D2I)
+        elif kind == "ref":
+            self.cb.emit(Op.CHECKCAST, expr.type.name)
+
+
+def generate(program_ast: ast.Program, unit: ProgramUnit) -> ProgramUnit:
+    """Generate bytecode for every method of an analyzed program."""
+    return CodeGenerator(program_ast, unit).generate()

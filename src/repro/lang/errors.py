@@ -1,0 +1,26 @@
+"""Diagnostics for the Jx frontend."""
+
+from __future__ import annotations
+
+
+class JxError(Exception):
+    """Base class for all Jx frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        location = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(JxError):
+    """Raised on malformed input characters or literals."""
+
+
+class ParseError(JxError):
+    """Raised on syntax errors."""
+
+
+class SemanticError(JxError):
+    """Raised on name-resolution or type errors."""

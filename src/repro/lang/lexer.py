@@ -1,0 +1,163 @@
+"""Hand-written lexer for the Jx language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+int and double literals, and double-quoted string literals with the
+escape set ``\\n \\t \\" \\\\ \\r \\0``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, OPERATORS, TokKind, Token
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "r": "\r", "0": "\0"}
+
+
+class Lexer:
+    """Converts Jx source text into a token stream."""
+
+    def __init__(self, source: str, filename: str = "<source>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- character helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    # -- skipping ---------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance()
+                self._advance()
+                while True:
+                    if self.pos >= len(self.source):
+                        raise LexError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+            else:
+                return
+
+    # -- token scanners ------------------------------------------------------------
+
+    def _scan_number(self) -> Token:
+        line, col = self.line, self.col
+        digits = []
+        while self._peek().isdigit():
+            digits.append(self._advance())
+        is_double = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_double = True
+            digits.append(self._advance())
+            while self._peek().isdigit():
+                digits.append(self._advance())
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_double = True
+            digits.append(self._advance())
+            if self._peek() in "+-":
+                digits.append(self._advance())
+            while self._peek().isdigit():
+                digits.append(self._advance())
+        text = "".join(digits)
+        if is_double:
+            return Token(TokKind.DOUBLE_LIT, float(text), line, col)
+        return Token(TokKind.INT_LIT, int(text), line, col)
+
+    def _scan_string(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", line, col)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\n":
+                raise LexError("newline in string literal", line, col)
+            if ch == "\\":
+                esc = self._advance() if self.pos < len(self.source) else ""
+                if esc not in _ESCAPES:
+                    raise self._error(f"bad escape sequence '\\{esc}'")
+                chars.append(_ESCAPES[esc])
+            else:
+                chars.append(ch)
+        return Token(TokKind.STRING_LIT, "".join(chars), line, col)
+
+    def _scan_word(self) -> Token:
+        line, col = self.line, self.col
+        chars = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        word = "".join(chars)
+        kind = TokKind.KEYWORD if word in KEYWORDS else TokKind.IDENT
+        return Token(kind, word, line, col)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokKind.EOF, None, self.line, self.col)
+        ch = self._peek()
+        if ch.isdigit():
+            return self._scan_number()
+        if ch == '"':
+            return self._scan_string()
+        if ch.isalpha() or ch == "_":
+            return self._scan_word()
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                line, col = self.line, self.col
+                for _ in op:
+                    self._advance()
+                return Token(TokKind.PUNCT, op, line, col)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token list, terminated by a single EOF token."""
+        tokens = []
+        while True:
+            tok = self.next_token()
+            tokens.append(tok)
+            if tok.kind is TokKind.EOF:
+                return tokens
+
+
+def tokenize(source: str, filename: str = "<source>") -> list[Token]:
+    """Tokenize ``source`` and return the token list (EOF-terminated)."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,1003 @@
+"""Semantic analysis for Jx: name resolution and type checking.
+
+Runs in two passes:
+
+1. **Collection** — build skeleton :class:`~repro.bytecode.classfile.ClassInfo`
+   records (fields + method signatures, no code) for every declared class,
+   merge them with prebuilt classes (the stdlib's ``Sys``), and validate
+   the class graph (unknown supers, inheritance cycles, interface
+   implementation completeness, override signature compatibility).
+2. **Body checking** — type check every method body, annotating the AST
+   with resolved bindings, dispatch kinds, and implicit numeric widenings
+   (inserted as synthetic ``Cast`` nodes) so code generation is a pure
+   tree walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.classfile import (
+    BOOLEAN,
+    CONSTRUCTOR_NAME,
+    DOUBLE,
+    INT,
+    NULL_T,
+    STRING,
+    VOID,
+    ClassInfo,
+    FieldInfo,
+    JxType,
+    MethodInfo,
+    ProgramUnit,
+)
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+
+_ARITH_OPS = ("+", "-", "*", "/", "%")
+_BIT_OPS = ("<<", ">>", "&", "|", "^")
+_REL_OPS = ("<", "<=", ">", ">=")
+_EQ_OPS = ("==", "!=")
+_LOGIC_OPS = ("&&", "||")
+
+
+@dataclass
+class _Scope:
+    """One lexical block's local variables."""
+
+    names: dict[str, tuple[int, JxType]] = field(default_factory=dict)
+
+
+class _MethodEnv:
+    """Name environment while checking one method body."""
+
+    def __init__(self, cls: ClassInfo, method: MethodInfo) -> None:
+        self.cls = cls
+        self.method = method
+        self.scopes: list[_Scope] = [_Scope()]
+        self.next_local = 0
+        self.max_locals = 0
+        self.loop_depth = 0
+        if not method.is_static:
+            self.next_local = 1  # slot 0 is `this`
+        for ptype, pname in zip(method.param_types, method.local_names):
+            self.declare(pname, ptype, line=0)
+
+    def push(self) -> None:
+        self.scopes.append(_Scope())
+
+    def pop(self) -> None:
+        scope = self.scopes.pop()
+        self.next_local -= len(scope.names)
+
+    def declare(self, name: str, jx_type: JxType, line: int) -> int:
+        for scope in self.scopes:
+            if name in scope.names:
+                raise SemanticError(
+                    f"variable '{name}' already declared", line
+                )
+        index = self.next_local
+        self.scopes[-1].names[name] = (index, jx_type)
+        self.next_local += 1
+        self.max_locals = max(self.max_locals, self.next_local)
+        return index
+
+    def lookup(self, name: str) -> tuple[int, JxType] | None:
+        for scope in reversed(self.scopes):
+            if name in scope.names:
+                return scope.names[name]
+        return None
+
+
+class SemanticAnalyzer:
+    """Checks one parsed program against prebuilt (stdlib) classes."""
+
+    def __init__(
+        self,
+        program_ast: ast.Program,
+        prebuilt: list[ClassInfo] | None = None,
+        entry_class: str = "Main",
+        entry_method: str = "main",
+    ) -> None:
+        self.program_ast = program_ast
+        self.prebuilt = list(prebuilt or [])
+        self.unit = ProgramUnit(
+            entry_class=entry_class, entry_method=entry_method
+        )
+        self.decls: dict[str, ast.ClassDecl] = {}
+
+    # ------------------------------------------------------------------
+    # Pass 1: collection
+    # ------------------------------------------------------------------
+
+    def collect(self) -> ProgramUnit:
+        for cls in self.prebuilt:
+            self.unit.add_class(cls)
+        for decl in self.program_ast.classes:
+            if decl.name in self.unit.classes:
+                raise SemanticError(
+                    f"duplicate class '{decl.name}'", decl.line
+                )
+            self.decls[decl.name] = decl
+            self.unit.add_class(self._collect_class(decl))
+        self._validate_hierarchy()
+        return self.unit
+
+    def _collect_class(self, decl: ast.ClassDecl) -> ClassInfo:
+        super_name = decl.super_name
+        if (
+            super_name is None
+            and not decl.is_interface
+            and decl.name != "Object"
+            and "Object" in self.unit.classes
+        ):
+            super_name = "Object"
+        cls = ClassInfo(
+            name=decl.name,
+            super_name=super_name,
+            interface_names=list(decl.interfaces),
+            is_interface=decl.is_interface,
+            source_name=self.program_ast.source_name,
+        )
+        for fdecl in decl.fields:
+            if decl.is_interface:
+                raise SemanticError(
+                    "interfaces cannot declare fields", fdecl.line
+                )
+            cls.add_field(
+                FieldInfo(
+                    name=fdecl.name,
+                    type=fdecl.type,
+                    declaring_class=decl.name,
+                    is_static=fdecl.is_static,
+                    access=fdecl.access,
+                )
+            )
+        has_ctor = False
+        for mdecl in decl.methods:
+            info = MethodInfo(
+                name=mdecl.name,
+                param_types=[p.type for p in mdecl.params],
+                return_type=mdecl.return_type,
+                declaring_class=decl.name,
+                is_static=mdecl.is_static,
+                access=mdecl.access,
+                local_names=[p.name for p in mdecl.params],
+                is_abstract=decl.is_interface,
+            )
+            try:
+                cls.add_method(info)
+            except ValueError as exc:
+                raise SemanticError(str(exc), mdecl.line) from None
+            has_ctor = has_ctor or mdecl.is_constructor
+        if not decl.is_interface and not has_ctor:
+            # Synthesize a public no-arg constructor.
+            default = MethodInfo(
+                name=CONSTRUCTOR_NAME,
+                param_types=[],
+                return_type=VOID,
+                declaring_class=decl.name,
+            )
+            cls.add_method(default)
+            decl.methods.append(
+                ast.MethodDecl(
+                    name=CONSTRUCTOR_NAME,
+                    params=[],
+                    return_type=VOID,
+                    body=ast.Block(stmts=[], line=decl.line),
+                    is_constructor=True,
+                    line=decl.line,
+                )
+            )
+        return cls
+
+    def _validate_hierarchy(self) -> None:
+        for cls in self.unit.classes.values():
+            if cls.super_name:
+                sup = self.unit.classes.get(cls.super_name)
+                if sup is None:
+                    raise SemanticError(
+                        f"class '{cls.name}' extends unknown class "
+                        f"'{cls.super_name}'"
+                    )
+                if sup.is_interface:
+                    raise SemanticError(
+                        f"class '{cls.name}' cannot extend interface "
+                        f"'{cls.super_name}'"
+                    )
+            for iname in cls.interface_names:
+                iface = self.unit.classes.get(iname)
+                if iface is None:
+                    raise SemanticError(
+                        f"'{cls.name}' references unknown interface '{iname}'"
+                    )
+                if not iface.is_interface and not cls.is_interface:
+                    raise SemanticError(
+                        f"'{cls.name}' implements non-interface '{iname}'"
+                    )
+            self._check_cycle(cls)
+        for cls in self.unit.classes.values():
+            if not cls.is_interface:
+                self._check_overrides(cls)
+                self._check_interface_impl(cls)
+
+    def _check_cycle(self, cls: ClassInfo) -> None:
+        seen = {cls.name}
+        cur = cls
+        while cur.super_name:
+            if cur.super_name in seen:
+                raise SemanticError(
+                    f"inheritance cycle through '{cls.name}'"
+                )
+            seen.add(cur.super_name)
+            cur = self.unit.classes[cur.super_name]
+
+    def _check_overrides(self, cls: ClassInfo) -> None:
+        if not cls.super_name:
+            return
+        for m in cls.instance_methods():
+            inherited = self.unit.lookup_method(cls.super_name, m.key)
+            if inherited is None:
+                continue
+            if inherited.is_static != m.is_static:
+                raise SemanticError(
+                    f"'{m.qualified_name}' changes staticness of inherited "
+                    f"method"
+                )
+            if (
+                inherited.param_types != m.param_types
+                or inherited.return_type != m.return_type
+            ):
+                raise SemanticError(
+                    f"'{m.qualified_name}' overrides "
+                    f"'{inherited.qualified_name}' with a different signature"
+                )
+            if inherited.is_private:
+                # Private methods don't participate in overriding; but our
+                # no-overload rule makes same-name redefinition confusing.
+                raise SemanticError(
+                    f"'{m.qualified_name}' has the same name as private "
+                    f"inherited method '{inherited.qualified_name}'"
+                )
+
+    def _iface_methods(self, iface_name: str) -> list[MethodInfo]:
+        """All abstract methods of an interface incl. superinterfaces."""
+        iface = self.unit.classes[iface_name]
+        out = list(iface.methods.values())
+        for sup in iface.interface_names:
+            out.extend(self._iface_methods(sup))
+        return out
+
+    def _all_interfaces(self, cls: ClassInfo) -> set[str]:
+        out: set[str] = set()
+        cur: ClassInfo | None = cls
+        while cur is not None:
+            work = list(cur.interface_names)
+            while work:
+                name = work.pop()
+                if name in out:
+                    continue
+                out.add(name)
+                work.extend(self.unit.classes[name].interface_names)
+            cur = (
+                self.unit.classes.get(cur.super_name)
+                if cur.super_name
+                else None
+            )
+        return out
+
+    def _check_interface_impl(self, cls: ClassInfo) -> None:
+        for iname in self._all_interfaces(cls):
+            for im in self._iface_methods(iname):
+                impl = self.unit.lookup_method(cls.name, im.key)
+                if impl is None or impl.is_abstract:
+                    raise SemanticError(
+                        f"class '{cls.name}' does not implement "
+                        f"'{im.qualified_name}'"
+                    )
+                if (
+                    impl.param_types != im.param_types
+                    or impl.return_type != im.return_type
+                    or impl.is_static
+                    or impl.is_private
+                ):
+                    raise SemanticError(
+                        f"'{impl.qualified_name}' does not match interface "
+                        f"method '{im.qualified_name}'"
+                    )
+
+    # ------------------------------------------------------------------
+    # Pass 2: body checking
+    # ------------------------------------------------------------------
+
+    def check(self) -> ProgramUnit:
+        """Run both passes and return the annotated, typed ProgramUnit."""
+        self.collect()
+        for decl in self.program_ast.classes:
+            if decl.is_interface:
+                continue
+            cls = self.unit.classes[decl.name]
+            for fdecl in decl.fields:
+                self._check_type_exists(fdecl.type, fdecl.line)
+                if fdecl.init is not None:
+                    env = self._field_init_env(cls, fdecl)
+                    self._check_expr(fdecl.init, env)
+                    fdecl.init = self._coerce(
+                        fdecl.init, fdecl.type, fdecl.line
+                    )
+            for mdecl in decl.methods:
+                self._check_method(cls, mdecl)
+        return self.unit
+
+    def _field_init_env(self, cls: ClassInfo, fdecl: ast.FieldDecl) -> _MethodEnv:
+        holder = MethodInfo(
+            name="<fieldinit>",
+            param_types=[],
+            return_type=VOID,
+            declaring_class=cls.name,
+            is_static=fdecl.is_static,
+        )
+        return _MethodEnv(cls, holder)
+
+    def _check_type_exists(self, jx_type: JxType, line: int) -> None:
+        if jx_type.name in JxType.PRIMITIVES or jx_type.name == "<null>":
+            return
+        if jx_type.name not in self.unit.classes:
+            raise SemanticError(f"unknown type '{jx_type.name}'", line)
+
+    def _check_method(self, cls: ClassInfo, mdecl: ast.MethodDecl) -> None:
+        info = cls.methods[
+            f"{CONSTRUCTOR_NAME}/{len(mdecl.params)}"
+            if mdecl.is_constructor
+            else mdecl.name
+        ]
+        for p in mdecl.params:
+            self._check_type_exists(p.type, p.line)
+        self._check_type_exists(mdecl.return_type, mdecl.line)
+        if mdecl.body is None:
+            return
+        env = _MethodEnv(cls, info)
+        self._resolve_ctor_chaining(cls, mdecl, env)
+        self._check_block(mdecl.body, env)
+        info.max_locals = max(env.max_locals, info.num_args)
+        mdecl.env_max_locals = env.max_locals  # type: ignore[attr-defined]
+
+    def _resolve_ctor_chaining(
+        self, cls: ClassInfo, mdecl: ast.MethodDecl, env: _MethodEnv
+    ) -> None:
+        """Resolve explicit super()/this() and the implicit super() call."""
+        mdecl.implicit_super = None  # type: ignore[attr-defined]
+        mdecl.chains_to_this = False  # type: ignore[attr-defined]
+        if not mdecl.is_constructor:
+            return
+        body = mdecl.body
+        first = body.stmts[0] if body and body.stmts else None
+        if isinstance(first, ast.CtorCall):
+            target_class = (
+                cls.super_name if first.kind == "super" else cls.name
+            )
+            if first.kind == "super" and cls.super_name is None:
+                raise SemanticError(
+                    f"'{cls.name}' has no superclass for super() call",
+                    first.line,
+                )
+            ctor = self.unit.lookup_method(
+                target_class, f"{CONSTRUCTOR_NAME}/{len(first.args)}"
+            )
+            if ctor is None or ctor.declaring_class != target_class:
+                raise SemanticError(
+                    f"no {len(first.args)}-argument constructor in "
+                    f"'{target_class}'",
+                    first.line,
+                )
+            self._check_args(first.args, ctor, env, first.line)
+            first.target = ctor
+            mdecl.chains_to_this = first.kind == "this"  # type: ignore[attr-defined]
+        elif cls.super_name is not None:
+            ctor = self.unit.lookup_method(
+                cls.super_name, f"{CONSTRUCTOR_NAME}/0"
+            )
+            if ctor is None or ctor.declaring_class != cls.super_name:
+                raise SemanticError(
+                    f"constructor of '{cls.name}' must explicitly call a "
+                    f"superclass constructor ('{cls.super_name}' has no "
+                    f"no-arg constructor)",
+                    mdecl.line,
+                )
+            mdecl.implicit_super = ctor  # type: ignore[attr-defined]
+
+    # -- statements -----------------------------------------------------
+
+    def _check_block(self, block: ast.Block, env: _MethodEnv) -> None:
+        env.push()
+        for stmt in block.stmts:
+            self._check_stmt(stmt, env)
+        env.pop()
+
+    def _check_stmt(self, stmt: ast.Stmt, env: _MethodEnv) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, env)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_var_decl(stmt, env)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, env)
+        elif isinstance(stmt, ast.If):
+            cond_t = self._check_expr(stmt.cond, env)
+            self._require(cond_t, BOOLEAN, stmt.line, "if condition")
+            self._check_stmt(stmt.then, env)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, env)
+        elif isinstance(stmt, ast.While):
+            cond_t = self._check_expr(stmt.cond, env)
+            self._require(cond_t, BOOLEAN, stmt.line, "while condition")
+            env.loop_depth += 1
+            self._check_stmt(stmt.body, env)
+            env.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            env.push()
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, env)
+            if stmt.cond is not None:
+                cond_t = self._check_expr(stmt.cond, env)
+                self._require(cond_t, BOOLEAN, stmt.line, "for condition")
+            env.loop_depth += 1
+            self._check_stmt(stmt.body, env)
+            env.loop_depth -= 1
+            if stmt.update is not None:
+                self._check_stmt(stmt.update, env)
+            env.pop()
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt, env)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, env)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if env.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"'{kind}' outside of loop", stmt.line)
+        elif isinstance(stmt, ast.CtorCall):
+            if stmt.target is None:
+                raise SemanticError(
+                    "super()/this() is only allowed as the first statement "
+                    "of a constructor",
+                    stmt.line,
+                )
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unhandled statement {stmt!r}", stmt.line)
+
+    def _check_var_decl(self, stmt: ast.VarDecl, env: _MethodEnv) -> None:
+        self._check_type_exists(stmt.type, stmt.line)
+        if stmt.type == VOID:
+            raise SemanticError("variable cannot have type void", stmt.line)
+        if stmt.init is not None:
+            self._check_expr(stmt.init, env)
+            stmt.init = self._coerce(stmt.init, stmt.type, stmt.line)
+        stmt.local_index = env.declare(stmt.name, stmt.type, stmt.line)
+
+    def _check_assign(self, stmt: ast.Assign, env: _MethodEnv) -> None:
+        target_t = self._check_expr(stmt.target, env, as_lvalue=True)
+        value_t = self._check_expr(stmt.value, env)
+        op = getattr(stmt, "compound_op", None)
+        if op is None:
+            stmt.value = self._coerce(stmt.value, target_t, stmt.line)
+            return
+        # Compound assignment: target op= value.
+        if op == "+" and target_t == STRING:
+            return  # string concatenation accepts any RHS via CONCAT
+        if op in ("<<", ">>", "%", "&", "|", "^"):
+            self._require(target_t, INT, stmt.line, f"'{op}=' target")
+            self._require(value_t, INT, stmt.line, f"'{op}=' operand")
+            return
+        if not target_t.is_numeric:
+            raise SemanticError(
+                f"'{op}=' requires a numeric target, got {target_t}",
+                stmt.line,
+            )
+        if not value_t.is_numeric:
+            raise SemanticError(
+                f"'{op}=' requires a numeric operand, got {value_t}",
+                stmt.line,
+            )
+        if target_t == INT and value_t == DOUBLE:
+            raise SemanticError(
+                "possible lossy conversion from double to int", stmt.line
+            )
+        if target_t == DOUBLE and value_t == INT:
+            stmt.value = self._coerce(stmt.value, DOUBLE, stmt.line)
+
+    def _check_return(self, stmt: ast.Return, env: _MethodEnv) -> None:
+        ret = env.method.return_type
+        if env.method.is_constructor:
+            ret = VOID
+        if stmt.value is None:
+            if ret != VOID:
+                raise SemanticError(
+                    f"missing return value (expected {ret})", stmt.line
+                )
+            return
+        if ret == VOID:
+            raise SemanticError("void method cannot return a value", stmt.line)
+        self._check_expr(stmt.value, env)
+        stmt.value = self._coerce(stmt.value, ret, stmt.line)
+
+    # -- expressions ----------------------------------------------------
+
+    def _require(
+        self, actual: JxType, expected: JxType, line: int, what: str
+    ) -> None:
+        if actual != expected:
+            raise SemanticError(
+                f"{what} must be {expected}, got {actual}", line
+            )
+
+    def _assignable(self, src: JxType, dst: JxType) -> str | None:
+        """Return None (no), "exact", or "widen" (int->double)."""
+        if src == dst:
+            return "exact"
+        if src == INT and dst == DOUBLE:
+            return "widen"
+        if src == NULL_T and dst.is_reference and dst != STRING:
+            return "exact"
+        if src == NULL_T and dst == STRING:
+            return "exact"
+        if (
+            not src.is_array
+            and not dst.is_array
+            and not src.is_primitive
+            and not dst.is_primitive
+            and src.name != "<null>"
+            and self.unit.is_subtype(src.name, dst.name)
+        ):
+            return "exact"
+        return None
+
+    def _coerce(self, expr: ast.Expr, target: JxType, line: int) -> ast.Expr:
+        kind = self._assignable(expr.jx_type, target)
+        if kind is None:
+            raise SemanticError(
+                f"cannot convert {expr.jx_type} to {target}", line
+            )
+        if kind == "widen":
+            cast = ast.Cast(type=DOUBLE, expr=expr, line=line)
+            cast.jx_type = DOUBLE
+            cast.kind = "widen"  # type: ignore[attr-defined]
+            return cast
+        return expr
+
+    def _check_expr(
+        self, expr: ast.Expr, env: _MethodEnv, as_lvalue: bool = False
+    ) -> JxType:
+        handler = {
+            ast.IntLit: lambda: INT,
+            ast.DoubleLit: lambda: DOUBLE,
+            ast.StringLit: lambda: STRING,
+            ast.BoolLit: lambda: BOOLEAN,
+            ast.NullLit: lambda: NULL_T,
+        }.get(type(expr))
+        if handler is not None:
+            expr.jx_type = handler()
+            return expr.jx_type
+        if isinstance(expr, ast.This):
+            if env.method.is_static:
+                raise SemanticError("'this' in static context", expr.line)
+            expr.jx_type = JxType(env.cls.name)
+        elif isinstance(expr, ast.Name):
+            expr.jx_type = self._check_name(expr, env, as_lvalue)
+        elif isinstance(expr, ast.BinOp):
+            expr.jx_type = self._check_binop(expr, env)
+        elif isinstance(expr, ast.UnOp):
+            expr.jx_type = self._check_unop(expr, env)
+        elif isinstance(expr, ast.Ternary):
+            expr.jx_type = self._check_ternary(expr, env)
+        elif isinstance(expr, ast.FieldAccess):
+            expr.jx_type = self._check_field_access(expr, env, as_lvalue)
+        elif isinstance(expr, ast.Index):
+            arr_t = self._check_expr(expr.array, env)
+            if not arr_t.is_array:
+                raise SemanticError(
+                    f"cannot index non-array type {arr_t}", expr.line
+                )
+            idx_t = self._check_expr(expr.index, env)
+            self._require(idx_t, INT, expr.line, "array index")
+            expr.jx_type = arr_t.element_type()
+        elif isinstance(expr, ast.MethodCall):
+            expr.jx_type = self._check_call(expr, env)
+        elif isinstance(expr, ast.New):
+            expr.jx_type = self._check_new(expr, env)
+        elif isinstance(expr, ast.NewArray):
+            self._check_type_exists(expr.elem_type, expr.line)
+            len_t = self._check_expr(expr.length, env)
+            self._require(len_t, INT, expr.line, "array length")
+            expr.jx_type = expr.elem_type.array_of()
+        elif isinstance(expr, ast.Cast):
+            expr.jx_type = self._check_cast(expr, env)
+        elif isinstance(expr, ast.InstanceOf):
+            self._check_type_exists(expr.type, expr.line)
+            src_t = self._check_expr(expr.expr, env)
+            if not src_t.is_reference and src_t != NULL_T:
+                raise SemanticError(
+                    f"instanceof on non-reference type {src_t}", expr.line
+                )
+            if expr.type.is_array or expr.type.is_primitive:
+                raise SemanticError(
+                    "instanceof target must be a class or interface",
+                    expr.line,
+                )
+            expr.jx_type = BOOLEAN
+        else:  # pragma: no cover
+            raise SemanticError(f"unhandled expression {expr!r}", expr.line)
+        return expr.jx_type
+
+    def _check_name(
+        self, expr: ast.Name, env: _MethodEnv, as_lvalue: bool
+    ) -> JxType:
+        local = env.lookup(expr.ident)
+        if local is not None:
+            expr.binding = ("local", local[0])
+            return local[1]
+        finfo = self.unit.lookup_field(env.cls.name, expr.ident)
+        if finfo is not None:
+            if finfo.is_static:
+                expr.binding = ("static_field", finfo)
+            else:
+                if env.method.is_static:
+                    raise SemanticError(
+                        f"instance field '{expr.ident}' referenced from "
+                        f"static context",
+                        expr.line,
+                    )
+                expr.binding = ("field", finfo)
+            return finfo.type
+        if expr.ident in self.unit.classes and not as_lvalue:
+            raise SemanticError(
+                f"class name '{expr.ident}' used as a value", expr.line
+            )
+        raise SemanticError(f"unknown identifier '{expr.ident}'", expr.line)
+
+    def _check_binop(self, expr: ast.BinOp, env: _MethodEnv) -> JxType:
+        op = expr.op
+        lt = self._check_expr(expr.left, env)
+        rt = self._check_expr(expr.right, env)
+        expr.is_concat = False  # type: ignore[attr-defined]
+        if op == "+" and (lt == STRING or rt == STRING):
+            expr.is_concat = True  # type: ignore[attr-defined]
+            return STRING
+        if op in _ARITH_OPS:
+            if op == "%":
+                self._require(lt, INT, expr.line, "'%' left operand")
+                self._require(rt, INT, expr.line, "'%' right operand")
+                return INT
+            if not lt.is_numeric or not rt.is_numeric:
+                raise SemanticError(
+                    f"operator '{op}' requires numeric operands, got "
+                    f"{lt} and {rt}",
+                    expr.line,
+                )
+            if lt == INT and rt == INT:
+                return INT
+            if lt == INT:
+                expr.left = self._coerce(expr.left, DOUBLE, expr.line)
+            if rt == INT:
+                expr.right = self._coerce(expr.right, DOUBLE, expr.line)
+            return DOUBLE
+        if op in _BIT_OPS:
+            self._require(lt, INT, expr.line, f"'{op}' left operand")
+            self._require(rt, INT, expr.line, f"'{op}' right operand")
+            return INT
+        if op in _REL_OPS:
+            if not lt.is_numeric or not rt.is_numeric:
+                raise SemanticError(
+                    f"operator '{op}' requires numeric operands, got "
+                    f"{lt} and {rt}",
+                    expr.line,
+                )
+            if lt == INT and rt == DOUBLE:
+                expr.left = self._coerce(expr.left, DOUBLE, expr.line)
+            if rt == INT and lt == DOUBLE:
+                expr.right = self._coerce(expr.right, DOUBLE, expr.line)
+            return BOOLEAN
+        if op in _EQ_OPS:
+            if lt.is_numeric and rt.is_numeric:
+                if lt == INT and rt == DOUBLE:
+                    expr.left = self._coerce(expr.left, DOUBLE, expr.line)
+                if rt == INT and lt == DOUBLE:
+                    expr.right = self._coerce(expr.right, DOUBLE, expr.line)
+                return BOOLEAN
+            if lt == BOOLEAN and rt == BOOLEAN:
+                return BOOLEAN
+            if lt == STRING and rt in (STRING, NULL_T):
+                return BOOLEAN
+            if rt == STRING and lt in (STRING, NULL_T):
+                return BOOLEAN
+            ok = (
+                (lt.is_reference or lt == NULL_T)
+                and (rt.is_reference or rt == NULL_T)
+            )
+            if ok:
+                return BOOLEAN
+            raise SemanticError(
+                f"cannot compare {lt} with {rt}", expr.line
+            )
+        if op in _LOGIC_OPS:
+            self._require(lt, BOOLEAN, expr.line, f"'{op}' left operand")
+            self._require(rt, BOOLEAN, expr.line, f"'{op}' right operand")
+            return BOOLEAN
+        raise SemanticError(f"unknown operator '{op}'", expr.line)
+
+    def _check_unop(self, expr: ast.UnOp, env: _MethodEnv) -> JxType:
+        t = self._check_expr(expr.operand, env)
+        if expr.op == "-":
+            if not t.is_numeric:
+                raise SemanticError(
+                    f"unary '-' requires a numeric operand, got {t}",
+                    expr.line,
+                )
+            return t
+        if expr.op == "!":
+            self._require(t, BOOLEAN, expr.line, "'!' operand")
+            return BOOLEAN
+        raise SemanticError(f"unknown unary operator '{expr.op}'", expr.line)
+
+    def _check_ternary(self, expr: ast.Ternary, env: _MethodEnv) -> JxType:
+        cond_t = self._check_expr(expr.cond, env)
+        self._require(cond_t, BOOLEAN, expr.line, "ternary condition")
+        tt = self._check_expr(expr.then, env)
+        ot = self._check_expr(expr.otherwise, env)
+        if tt == ot:
+            return tt
+        if tt.is_numeric and ot.is_numeric:
+            if tt == INT:
+                expr.then = self._coerce(expr.then, DOUBLE, expr.line)
+            if ot == INT:
+                expr.otherwise = self._coerce(expr.otherwise, DOUBLE, expr.line)
+            return DOUBLE
+        if self._assignable(tt, ot):
+            return ot
+        if self._assignable(ot, tt):
+            return tt
+        raise SemanticError(
+            f"incompatible ternary branch types {tt} and {ot}", expr.line
+        )
+
+    def _class_receiver(self, expr: ast.Expr, env: _MethodEnv) -> str | None:
+        """If ``expr`` names a class (not a value), return the class name."""
+        if isinstance(expr, ast.Name) and env.lookup(expr.ident) is None:
+            if self.unit.lookup_field(env.cls.name, expr.ident) is not None:
+                return None
+            if expr.ident in self.unit.classes:
+                return expr.ident
+        return None
+
+    def _check_field_access(
+        self, expr: ast.FieldAccess, env: _MethodEnv, as_lvalue: bool
+    ) -> JxType:
+        cls_name = self._class_receiver(expr.receiver, env)
+        if cls_name is not None:
+            finfo = self.unit.lookup_field(cls_name, expr.name)
+            if finfo is None or not finfo.is_static:
+                raise SemanticError(
+                    f"no static field '{expr.name}' in class '{cls_name}'",
+                    expr.line,
+                )
+            self._check_field_visibility(finfo, env, expr.line)
+            expr.field_info = finfo
+            expr.is_static = True
+            return finfo.type
+        recv_t = self._check_expr(expr.receiver, env)
+        if recv_t.is_array:
+            if expr.name != "length":
+                raise SemanticError(
+                    f"arrays have no field '{expr.name}'", expr.line
+                )
+            if as_lvalue:
+                raise SemanticError(
+                    "array length is not assignable", expr.line
+                )
+            expr.is_arraylen = True  # type: ignore[attr-defined]
+            return INT
+        if recv_t.is_primitive or recv_t == NULL_T:
+            raise SemanticError(
+                f"cannot access field '{expr.name}' on {recv_t}", expr.line
+            )
+        finfo = self.unit.lookup_field(recv_t.name, expr.name)
+        if finfo is None or finfo.is_static:
+            raise SemanticError(
+                f"no instance field '{expr.name}' in class '{recv_t.name}'",
+                expr.line,
+            )
+        self._check_field_visibility(finfo, env, expr.line)
+        expr.field_info = finfo
+        return finfo.type
+
+    def _check_field_visibility(
+        self, finfo: FieldInfo, env: _MethodEnv, line: int
+    ) -> None:
+        if finfo.access == "private" and finfo.declaring_class != env.cls.name:
+            raise SemanticError(
+                f"field '{finfo.declaring_class}.{finfo.name}' is private",
+                line,
+            )
+
+    def _check_args(
+        self,
+        args: list[ast.Expr],
+        target: MethodInfo,
+        env: _MethodEnv,
+        line: int,
+    ) -> None:
+        if len(args) != len(target.param_types):
+            raise SemanticError(
+                f"'{target.qualified_name}' expects {len(target.param_types)} "
+                f"argument(s), got {len(args)}",
+                line,
+            )
+        for i, (arg, ptype) in enumerate(zip(args, target.param_types)):
+            self._check_expr(arg, env)
+            args[i] = self._coerce(arg, ptype, line)
+
+    def _check_call(self, expr: ast.MethodCall, env: _MethodEnv) -> JxType:
+        if expr.is_super:
+            if env.method.is_static:
+                raise SemanticError("'super' in static context", expr.line)
+            if env.cls.super_name is None:
+                raise SemanticError(
+                    f"'{env.cls.name}' has no superclass", expr.line
+                )
+            target = self.unit.lookup_method(env.cls.super_name, expr.name)
+            if target is None or target.is_static:
+                raise SemanticError(
+                    f"no instance method '{expr.name}' in superclass of "
+                    f"'{env.cls.name}'",
+                    expr.line,
+                )
+            expr.dispatch = "special"
+            expr.target = target
+            self._check_args(expr.args, target, env, expr.line)
+            return target.return_type
+
+        if expr.receiver is None:
+            target = self.unit.lookup_method(env.cls.name, expr.name)
+            if target is None:
+                raise SemanticError(
+                    f"unknown method '{expr.name}' in class "
+                    f"'{env.cls.name}'",
+                    expr.line,
+                )
+            if target.is_static:
+                expr.dispatch = "static"
+            else:
+                if env.method.is_static:
+                    raise SemanticError(
+                        f"instance method '{expr.name}' called from static "
+                        f"context",
+                        expr.line,
+                    )
+                expr.dispatch = "special" if target.is_private else "virtual"
+            expr.target = target
+            self._check_args(expr.args, target, env, expr.line)
+            return target.return_type
+
+        cls_name = self._class_receiver(expr.receiver, env)
+        if cls_name is not None:
+            target = self.unit.lookup_method(cls_name, expr.name)
+            if target is None or not target.is_static:
+                raise SemanticError(
+                    f"no static method '{expr.name}' in class '{cls_name}'",
+                    expr.line,
+                )
+            if target.is_private and target.declaring_class != env.cls.name:
+                raise SemanticError(
+                    f"method '{target.qualified_name}' is private", expr.line
+                )
+            expr.dispatch = "static"
+            expr.target = target
+            self._check_args(expr.args, target, env, expr.line)
+            return target.return_type
+
+        recv_t = self._check_expr(expr.receiver, env)
+        if recv_t.is_primitive or recv_t.is_array or recv_t == NULL_T:
+            raise SemanticError(
+                f"cannot call method '{expr.name}' on {recv_t}", expr.line
+            )
+        recv_cls = self.unit.classes[recv_t.name]
+        if recv_cls.is_interface:
+            target = self._lookup_iface_method(recv_t.name, expr.name)
+            if target is None:
+                raise SemanticError(
+                    f"no method '{expr.name}' in interface '{recv_t.name}'",
+                    expr.line,
+                )
+            expr.dispatch = "interface"
+        else:
+            target = self.unit.lookup_method(recv_t.name, expr.name)
+            if target is None or target.is_static:
+                raise SemanticError(
+                    f"no instance method '{expr.name}' in class "
+                    f"'{recv_t.name}'",
+                    expr.line,
+                )
+            if target.is_private:
+                if target.declaring_class != env.cls.name:
+                    raise SemanticError(
+                        f"method '{target.qualified_name}' is private",
+                        expr.line,
+                    )
+                expr.dispatch = "special"
+            else:
+                expr.dispatch = "virtual"
+        expr.target = target
+        self._check_args(expr.args, target, env, expr.line)
+        return target.return_type
+
+    def _lookup_iface_method(
+        self, iface_name: str, method_name: str
+    ) -> MethodInfo | None:
+        iface = self.unit.classes[iface_name]
+        if method_name in iface.methods:
+            return iface.methods[method_name]
+        for sup in iface.interface_names:
+            found = self._lookup_iface_method(sup, method_name)
+            if found is not None:
+                return found
+        return None
+
+    def _check_new(self, expr: ast.New, env: _MethodEnv) -> JxType:
+        cls = self.unit.classes.get(expr.class_name)
+        if cls is None:
+            raise SemanticError(
+                f"unknown class '{expr.class_name}'", expr.line
+            )
+        if cls.is_interface:
+            raise SemanticError(
+                f"cannot instantiate interface '{expr.class_name}'",
+                expr.line,
+            )
+        key = f"{CONSTRUCTOR_NAME}/{len(expr.args)}"
+        ctor = cls.methods.get(key)
+        if ctor is None:
+            raise SemanticError(
+                f"no {len(expr.args)}-argument constructor in "
+                f"'{expr.class_name}'",
+                expr.line,
+            )
+        if ctor.is_private and ctor.declaring_class != env.cls.name:
+            raise SemanticError(
+                f"constructor of '{expr.class_name}' is private", expr.line
+            )
+        expr.target = ctor
+        self._check_args(expr.args, ctor, env, expr.line)
+        return JxType(expr.class_name)
+
+    def _check_cast(self, expr: ast.Cast, env: _MethodEnv) -> JxType:
+        self._check_type_exists(expr.type, expr.line)
+        src_t = self._check_expr(expr.expr, env)
+        dst = expr.type
+        if src_t == dst:
+            expr.kind = "noop"  # type: ignore[attr-defined]
+            return dst
+        if src_t == INT and dst == DOUBLE:
+            expr.kind = "widen"  # type: ignore[attr-defined]
+            return dst
+        if src_t == DOUBLE and dst == INT:
+            expr.kind = "narrow"  # type: ignore[attr-defined]
+            return dst
+        src_ref = src_t.is_reference or src_t == NULL_T
+        if src_ref and dst.is_reference and not dst.is_array:
+            if dst.name == "string" or dst.is_primitive:
+                raise SemanticError(
+                    f"cannot cast {src_t} to {dst}", expr.line
+                )
+            expr.kind = "ref"  # type: ignore[attr-defined]
+            return dst
+        raise SemanticError(f"cannot cast {src_t} to {dst}", expr.line)
+
+
+def analyze(
+    program_ast: ast.Program,
+    prebuilt: list[ClassInfo] | None = None,
+    entry_class: str = "Main",
+    entry_method: str = "main",
+) -> ProgramUnit:
+    """Run semantic analysis; returns the typed unit, AST gets annotated."""
+    return SemanticAnalyzer(
+        program_ast, prebuilt, entry_class, entry_method
+    ).check()

@@ -1,0 +1,356 @@
+"""The Jx standard library.
+
+Two layers:
+
+* **Prebuilt classes** — ``Object`` (the implicit root of every class
+  hierarchy) and ``Sys`` (static methods whose bodies are single
+  ``INTRINSIC`` instructions), assembled programmatically with
+  :class:`~repro.bytecode.builder.CodeBuilder`.
+* **Self-hosted classes** — ``StringBuilder``, ``Vector``, ``IntVector``,
+  ``DoubleVector``, and ``StrMap``, written *in Jx* (see
+  :data:`STDLIB_SOURCE`) and compiled with the same frontend as user
+  code.  This doubles as a permanent integration test of the compiler.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.builder import CodeBuilder, make_method
+from repro.bytecode.classfile import (
+    BOOLEAN,
+    CONSTRUCTOR_NAME,
+    DOUBLE,
+    INT,
+    STRING,
+    VOID,
+    ClassInfo,
+    JxType,
+    MethodInfo,
+)
+from repro.bytecode.opcodes import Op
+from repro.vm.intrinsics import INTRINSICS
+
+STRING_ARRAY = STRING.array_of()
+
+#: (Jx method name, intrinsic name, param types, return type)
+_SYS_METHODS: list[tuple[str, str, list[JxType], JxType]] = [
+    ("print", "print", [STRING], VOID),
+    ("printRaw", "printRaw", [STRING], VOID),
+    ("len", "str_len", [STRING], INT),
+    ("charAt", "str_charAt", [STRING, INT], STRING),
+    ("ordAt", "str_ord", [STRING, INT], INT),
+    ("chr", "str_chr", [INT], STRING),
+    ("substr", "str_substr", [STRING, INT, INT], STRING),
+    ("indexOf", "str_indexOf", [STRING, STRING], INT),
+    ("split", "str_split", [STRING, STRING], STRING_ARRAY),
+    ("trim", "str_trim", [STRING], STRING),
+    ("replace", "str_replace", [STRING, STRING, STRING], STRING),
+    ("lower", "str_lower", [STRING], STRING),
+    ("upper", "str_upper", [STRING], STRING),
+    ("startsWith", "str_startsWith", [STRING, STRING], BOOLEAN),
+    ("endsWith", "str_endsWith", [STRING, STRING], BOOLEAN),
+    ("contains", "str_contains", [STRING, STRING], BOOLEAN),
+    ("strJoin", "str_join", [STRING_ARRAY, INT], STRING),
+    ("repeat", "str_repeat", [STRING, INT], STRING),
+    ("strCompare", "str_compare", [STRING, STRING], INT),
+    ("strHash", "str_hash", [STRING], INT),
+    ("parseInt", "parse_int", [STRING], INT),
+    ("parseDouble", "parse_double", [STRING], DOUBLE),
+    ("itos", "itos", [INT], STRING),
+    ("dtos", "dtos", [DOUBLE], STRING),
+    ("sqrt", "math_sqrt", [DOUBLE], DOUBLE),
+    ("log", "math_log", [DOUBLE], DOUBLE),
+    ("exp", "math_exp", [DOUBLE], DOUBLE),
+    ("pow", "math_pow", [DOUBLE, DOUBLE], DOUBLE),
+    ("floorToInt", "math_floor", [DOUBLE], INT),
+    ("ceilToInt", "math_ceil", [DOUBLE], INT),
+    ("abs", "math_abs", [DOUBLE], DOUBLE),
+    ("iabs", "math_iabs", [INT], INT),
+    ("imin", "math_imin", [INT, INT], INT),
+    ("imax", "math_imax", [INT, INT], INT),
+    ("dmin", "math_dmin", [DOUBLE, DOUBLE], DOUBLE),
+    ("dmax", "math_dmax", [DOUBLE, DOUBLE], DOUBLE),
+    ("round", "math_round", [DOUBLE], INT),
+    ("randSeed", "rand_seed", [INT], VOID),
+    ("randInt", "rand_int", [INT], INT),
+    ("randDouble", "rand_double", [], DOUBLE),
+]
+
+
+def build_object_class() -> ClassInfo:
+    """The implicit root class with its empty no-arg constructor."""
+    cls = ClassInfo(name="Object", source_name="<stdlib>")
+    cb = CodeBuilder(num_params=1)
+    cb.emit(Op.RETURN_VOID)
+    cls.add_method(
+        make_method(
+            CONSTRUCTOR_NAME, "Object", [], VOID, cb,
+            local_names=[],
+        )
+    )
+    return cls
+
+
+def build_sys_class() -> ClassInfo:
+    """The ``Sys`` class: one static intrinsic-wrapping method per entry."""
+    cls = ClassInfo(name="Sys", source_name="<stdlib>")
+    for jx_name, intrinsic_name, params, ret in _SYS_METHODS:
+        intrinsic = INTRINSICS[intrinsic_name]
+        if intrinsic.nargs != len(params):
+            raise AssertionError(
+                f"Sys.{jx_name}: intrinsic {intrinsic_name} arity mismatch"
+            )
+        if intrinsic.returns != (ret != VOID):
+            raise AssertionError(
+                f"Sys.{jx_name}: intrinsic {intrinsic_name} return mismatch"
+            )
+        cb = CodeBuilder(num_params=len(params))
+        for i in range(len(params)):
+            cb.load(i)
+        cb.intrinsic(intrinsic_name, len(params))
+        cb.emit(Op.RETURN if ret != VOID else Op.RETURN_VOID)
+        method = make_method(
+            jx_name, "Sys", params, ret, cb,
+            is_static=True,
+            local_names=[f"a{i}" for i in range(len(params))],
+        )
+        cls.add_method(method)
+    return cls
+
+
+STDLIB_SOURCE = """
+class StringBuilder {
+    private string[] parts;
+    private int count;
+    private int chars;
+
+    StringBuilder() {
+        parts = new string[8];
+        count = 0;
+        chars = 0;
+    }
+
+    private void grow(int needed) {
+        if (needed <= parts.length) { return; }
+        int cap = parts.length;
+        while (cap < needed) { cap = cap * 2; }
+        string[] bigger = new string[cap];
+        for (int i = 0; i < count; i++) { bigger[i] = parts[i]; }
+        parts = bigger;
+    }
+
+    public StringBuilder append(string s) {
+        grow(count + 1);
+        parts[count] = s;
+        count++;
+        chars += Sys.len(s);
+        return this;
+    }
+
+    public StringBuilder appendInt(int v) { return append(Sys.itos(v)); }
+
+    public StringBuilder appendDouble(double v) { return append(Sys.dtos(v)); }
+
+    public StringBuilder appendLine(string s) {
+        append(s);
+        return append("\\n");
+    }
+
+    public int length() { return chars; }
+
+    public boolean isEmpty() { return chars == 0; }
+
+    public void clear() {
+        count = 0;
+        chars = 0;
+    }
+
+    public string toString() { return Sys.strJoin(parts, count); }
+}
+
+class Vector {
+    private Object[] items;
+    private int count;
+
+    Vector() {
+        items = new Object[8];
+        count = 0;
+    }
+
+    Vector(int capacity) {
+        items = new Object[Sys.imax(capacity, 1)];
+        count = 0;
+    }
+
+    private void grow(int needed) {
+        if (needed <= items.length) { return; }
+        int cap = items.length;
+        while (cap < needed) { cap = cap * 2; }
+        Object[] bigger = new Object[cap];
+        for (int i = 0; i < count; i++) { bigger[i] = items[i]; }
+        items = bigger;
+    }
+
+    public void add(Object item) {
+        grow(count + 1);
+        items[count] = item;
+        count++;
+    }
+
+    public Object get(int index) { return items[index]; }
+
+    public void set(int index, Object item) { items[index] = item; }
+
+    public Object removeLast() {
+        count--;
+        Object last = items[count];
+        items[count] = null;
+        return last;
+    }
+
+    public int size() { return count; }
+
+    public boolean isEmpty() { return count == 0; }
+
+    public void clear() {
+        for (int i = 0; i < count; i++) { items[i] = null; }
+        count = 0;
+    }
+}
+
+class IntVector {
+    private int[] data;
+    private int count;
+
+    IntVector() {
+        data = new int[8];
+        count = 0;
+    }
+
+    private void grow(int needed) {
+        if (needed <= data.length) { return; }
+        int cap = data.length;
+        while (cap < needed) { cap = cap * 2; }
+        int[] bigger = new int[cap];
+        for (int i = 0; i < count; i++) { bigger[i] = data[i]; }
+        data = bigger;
+    }
+
+    public void push(int v) {
+        grow(count + 1);
+        data[count] = v;
+        count++;
+    }
+
+    public int get(int index) { return data[index]; }
+
+    public void set(int index, int v) { data[index] = v; }
+
+    public int size() { return count; }
+
+    public int sum() {
+        int total = 0;
+        for (int i = 0; i < count; i++) { total += data[i]; }
+        return total;
+    }
+}
+
+class DoubleVector {
+    private double[] data;
+    private int count;
+
+    DoubleVector() {
+        data = new double[8];
+        count = 0;
+    }
+
+    private void grow(int needed) {
+        if (needed <= data.length) { return; }
+        int cap = data.length;
+        while (cap < needed) { cap = cap * 2; }
+        double[] bigger = new double[cap];
+        for (int i = 0; i < count; i++) { bigger[i] = data[i]; }
+        data = bigger;
+    }
+
+    public void push(double v) {
+        grow(count + 1);
+        data[count] = v;
+        count++;
+    }
+
+    public double get(int index) { return data[index]; }
+
+    public void set(int index, double v) { data[index] = v; }
+
+    public int size() { return count; }
+
+    public double sum() {
+        double total = 0.0;
+        for (int i = 0; i < count; i++) { total += data[i]; }
+        return total;
+    }
+}
+
+// Open-addressing hash map from string keys to Object values.
+class StrMap {
+    private string[] keys;
+    private Object[] vals;
+    private int count;
+
+    StrMap() {
+        keys = new string[16];
+        vals = new Object[16];
+        count = 0;
+    }
+
+    private int slotFor(string key) {
+        int mask = keys.length - 1;
+        int i = Sys.iabs(Sys.strHash(key)) & mask;
+        while (keys[i] != null && !(keys[i] == key)) {
+            i = (i + 1) & mask;
+        }
+        return i;
+    }
+
+    private void rehash() {
+        string[] oldKeys = keys;
+        Object[] oldVals = vals;
+        keys = new string[oldKeys.length * 2];
+        vals = new Object[oldVals.length * 2];
+        for (int i = 0; i < oldKeys.length; i++) {
+            if (oldKeys[i] != null) {
+                int j = slotFor(oldKeys[i]);
+                keys[j] = oldKeys[i];
+                vals[j] = oldVals[i];
+            }
+        }
+    }
+
+    public void put(string key, Object value) {
+        if (count * 4 >= keys.length * 3) { rehash(); }
+        int i = slotFor(key);
+        if (keys[i] == null) {
+            keys[i] = key;
+            count++;
+        }
+        vals[i] = value;
+    }
+
+    public Object get(string key) {
+        int i = slotFor(key);
+        return vals[i];
+    }
+
+    public boolean containsKey(string key) {
+        int i = slotFor(key);
+        return keys[i] != null;
+    }
+
+    public int size() { return count; }
+}
+"""
+
+
+def build_prebuilt_classes() -> list[ClassInfo]:
+    """The programmatically-assembled stdlib layer: ``Object`` and ``Sys``."""
+    return [build_object_class(), build_sys_class()]

@@ -1,0 +1,111 @@
+"""Hot-state derivation from value profiles (paper §3.1).
+
+Turns per-class joint value histograms into the hot-state lists that
+drive special-TIB creation, in two steps:
+
+1. **Marginal filtering** — a field whose own value distribution has no
+   dominant value (e.g. an id counter) can never support a hot state;
+   such fields are dropped and the histogram is marginalized onto the
+   survivors.  This matches the paper's per-field sampling ("each field
+   has a number of values sampled, the frequency of the occurrence of
+   each value is recorded") before states are formed.
+2. **Joint selection** — a remaining value combination is hot when its
+   sample share clears the threshold, with a cap per class (each hot
+   state costs one special TIB and one specialized version of every
+   mutable method).  The paper observes "surprisingly, many classes
+   analyzed have a distinct hot state" — the defaults keep exactly such
+   dominant states.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.mutation.plan import HotState, MutationConfig, StateFieldSpec
+from repro.profiling.value_profiler import ClassValueProfile
+
+
+def _specializable_values(values: tuple) -> bool:
+    """Only immediate-representable values can be compiled in as
+    constants (ints, bools, strings, null)."""
+    return all(
+        v is None or isinstance(v, (int, bool, str)) for v in values
+    )
+
+
+def _dominant_field_indices(
+    histogram: Counter, samples: int, width: int, threshold: float,
+    offset: int,
+) -> list[int]:
+    """Indices (within one tuple part) whose marginal has a value with
+    share >= threshold."""
+    kept = []
+    for i in range(width):
+        marginal: Counter = Counter()
+        for (inst, stat), count in histogram.items():
+            joined = inst + stat
+            marginal[joined[offset + i]] += count
+        if marginal and max(marginal.values()) / samples >= threshold:
+            kept.append(i)
+    return kept
+
+
+def derive_hot_states(
+    profile: ClassValueProfile, config: MutationConfig | None = None
+) -> tuple[list[StateFieldSpec], list[StateFieldSpec], list[HotState]]:
+    """Filter fields by marginal dominance, then select hot states.
+
+    Returns ``(kept instance fields, kept static fields, hot states)``
+    with hot-state value tuples index-aligned to the kept field lists.
+    """
+    config = config or MutationConfig()
+    if not profile.samples:
+        return [], [], []
+    n_inst = len(profile.instance_fields)
+    n_stat = len(profile.static_fields)
+
+    keep_inst = _dominant_field_indices(
+        profile.histogram, profile.samples, n_inst,
+        config.hot_state_share, 0,
+    )
+    keep_stat = _dominant_field_indices(
+        profile.histogram, profile.samples, n_stat,
+        config.hot_state_share, n_inst,
+    )
+    if not keep_inst and not keep_stat:
+        return [], [], []
+
+    # Marginalize the joint histogram onto the kept fields.
+    reduced: Counter = Counter()
+    for (inst, stat), count in profile.histogram.items():
+        key = (
+            tuple(inst[i] for i in keep_inst),
+            tuple(stat[i] for i in keep_stat),
+        )
+        reduced[key] += count
+
+    shares = sorted(
+        (
+            (inst, stat, count / profile.samples)
+            for (inst, stat), count in reduced.items()
+        ),
+        key=lambda t: (-t[2], repr(t[:2])),
+    )
+    out: list[HotState] = []
+    for instance_values, static_values, share in shares:
+        if share < config.hot_state_share:
+            break
+        if not _specializable_values(instance_values + static_values):
+            continue
+        out.append(
+            HotState(
+                instance_values=instance_values,
+                static_values=static_values,
+                share=share,
+            )
+        )
+        if len(out) >= config.max_hot_states:
+            break
+    kept_instance = [profile.instance_fields[i] for i in keep_inst]
+    kept_static = [profile.static_fields[i] for i in keep_stat]
+    return kept_instance, kept_static, out

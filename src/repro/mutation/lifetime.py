@@ -1,0 +1,269 @@
+"""Object lifetime constant analysis (paper §4, Fig. 8).
+
+Finds instance state fields that are, for all objects reachable through
+a given private reference field, compile-time constants:
+
+1. **Constructor assignment analysis** — record ``<field, ctor, value>``
+   tuples for fields of mutable classes assigned literal constants in
+   constructors, and verify no non-constructor code ever assigns them.
+2. **Private reference field analysis** — for each private field ``g``
+   in another class ``D`` whose every assignment is ``new M(...)``
+   through one specific constructor: prove ``D`` never modifies the
+   candidate fields and that ``g`` never escapes ``D`` (never stored to
+   another field/array, never passed as a call argument — receiver
+   position excepted — never returned).
+
+The surviving fields are object lifetime constants for ``g``: any
+method invoked with ``g`` as receiver may be inlined with them bound
+(paper §5's specialization inlining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.classfile import (
+    CONSTRUCTOR_NAME,
+    MethodInfo,
+    ProgramUnit,
+)
+from repro.bytecode.instructions import Instr
+from repro.mutation.plan import LifetimeConstInfo
+from repro.mutation.stacksim import StackEvent, SymValue, walk_method
+
+
+def _field_key(unit: ProgramUnit, cls_name: str, field_name: str) -> str:
+    finfo = unit.lookup_field(cls_name, field_name)
+    if finfo is None:
+        return f"{cls_name}.{field_name}"
+    return f"{finfo.declaring_class}.{finfo.name}"
+
+
+# ---------------------------------------------------------------------------
+# Step 1: constructor-assigned constants
+# ---------------------------------------------------------------------------
+
+class _CtorAssignCollector(StackEvent):
+    def __init__(self, unit: ProgramUnit) -> None:
+        self.unit = unit
+        #: field key -> constant value (last assignment wins)
+        self.constants: dict[str, object] = {}
+        #: field keys assigned non-constants or via non-this receivers
+        self.disqualified: set[str] = set()
+
+    def on_putfield(self, index, instr, receiver, value) -> None:
+        cls_name, field_name = instr.arg
+        key = _field_key(self.unit, cls_name, field_name)
+        if receiver.kind != ("this",):
+            self.disqualified.add(key)
+            return
+        if value.kind[0] == "const":
+            self.constants[key] = value.kind[1]
+        else:
+            self.disqualified.add(key)
+
+
+def ctor_constant_fields(
+    unit: ProgramUnit, class_name: str
+) -> dict[str, dict[str, object]]:
+    """``ctor key -> {field key: constant}`` for one class's constructors."""
+    cls = unit.classes.get(class_name)
+    if cls is None:
+        return {}
+    out: dict[str, dict[str, object]] = {}
+    for key, method in cls.methods.items():
+        if not method.is_constructor:
+            continue
+        collector = _CtorAssignCollector(unit)
+        walk_method(method, collector, unit=unit)
+        constants = {
+            fk: v
+            for fk, v in collector.constants.items()
+            if fk not in collector.disqualified
+        }
+        out[key] = constants
+    return out
+
+
+def fields_assigned_outside_ctors(
+    unit: ProgramUnit, class_name: str
+) -> set[str]:
+    """Field keys of ``class_name``'s hierarchy written by any
+    non-constructor method anywhere in the program (or by another
+    class's constructor)."""
+    written: set[str] = set()
+    for method in unit.all_methods():
+        if method.is_abstract or not method.code:
+            continue
+        is_own_ctor = (
+            method.is_constructor and method.declaring_class == class_name
+        )
+        if is_own_ctor:
+            continue
+        for instr in method.code:
+            if instr.op.name == "PUTFIELD":
+                cls_name, field_name = instr.arg
+                written.add(_field_key(unit, cls_name, field_name))
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Step 2: private reference field + escape analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _RefFieldFacts:
+    """Per private-reference-field facts gathered from its declaring
+    class's code."""
+
+    assignments: list[tuple[str, str]] = field(default_factory=list)
+    #: ctor keys seen in `new` assignments: (class, ctor key)
+    escaped: bool = False
+    modified_fields: set[str] = field(default_factory=set)
+
+
+class _RefFieldCollector(StackEvent):
+    """Walks one method of class D, updating facts for D's candidate
+    private reference fields."""
+
+    def __init__(
+        self,
+        unit: ProgramUnit,
+        facts: dict[str, _RefFieldFacts],
+        g_locals: dict[str, set[int]],
+    ) -> None:
+        self.unit = unit
+        self.facts = facts
+        self.g_locals = g_locals
+        self.grew = False
+
+    def _g_keys_of(self, value: SymValue) -> list[str]:
+        """Candidate field keys this value is a direct load of."""
+        kind = value.kind
+        if kind[0] == "fieldload" and kind[1] in self.facts:
+            return [kind[1]]
+        if kind[0] == "local":
+            return [
+                key
+                for key, locals_ in self.g_locals.items()
+                if kind[1] in locals_
+            ]
+        return []
+
+    def on_local_store(self, index, instr, local, value) -> None:
+        for key in self._g_keys_of(value):
+            if local not in self.g_locals[key]:
+                self.g_locals[key].add(local)
+                self.grew = True
+
+    def on_putfield(self, index, instr, receiver, value) -> None:
+        cls_name, field_name = instr.arg
+        key = _field_key(self.unit, cls_name, field_name)
+        # Record modifications of *any* field (checked against olc sets).
+        for facts in self.facts.values():
+            facts.modified_fields.add(key)
+        if key in self.facts:
+            if value.kind[0] == "new":
+                self.facts[key].assignments.append(
+                    (value.kind[1], value.kind[2])
+                )
+            else:
+                self.facts[key].escaped = True  # non-`new` assignment
+        # Storing a g value into another field escapes it.
+        for gk in self._g_keys_of(value):
+            self.facts[gk].escaped = True
+
+    def on_putstatic(self, index, instr, value) -> None:
+        for gk in self._g_keys_of(value):
+            self.facts[gk].escaped = True
+
+    def on_astore(self, index, instr, value) -> None:
+        for gk in self._g_keys_of(value):
+            self.facts[gk].escaped = True
+
+    def on_return(self, index, instr, value) -> None:
+        for gk in self._g_keys_of(value):
+            self.facts[gk].escaped = True
+
+    def on_call(self, index, instr, args) -> None:
+        from repro.bytecode.opcodes import Op
+
+        receiver_ok = instr.op in (Op.INVOKEVIRTUAL, Op.INVOKEINTERFACE)
+        for pos, arg in enumerate(args):
+            if pos == 0 and receiver_ok:
+                continue  # calling a method *on* g is the whole point
+            for gk in self._g_keys_of(arg):
+                self.facts[gk].escaped = True
+
+
+def analyze_lifetime_constants(
+    unit: ProgramUnit, mutable_classes: list[str]
+) -> dict[str, LifetimeConstInfo]:
+    """Run the full Fig. 8 algorithm; returns ref-field key -> info."""
+    # Step 1 per mutable class.
+    ctor_consts: dict[str, dict[str, dict[str, object]]] = {}
+    outside_writes: dict[str, set[str]] = {}
+    for m in mutable_classes:
+        ctor_consts[m] = ctor_constant_fields(unit, m)
+        outside_writes[m] = fields_assigned_outside_ctors(unit, m)
+
+    results: dict[str, LifetimeConstInfo] = {}
+    mutable_set = set(mutable_classes)
+
+    for cls in unit.classes.values():
+        if cls.is_interface:
+            continue
+        candidates = {
+            f"{cls.name}.{finfo.name}": finfo
+            for finfo in cls.fields.values()
+            if not finfo.is_static
+            and finfo.access == "private"
+            and not finfo.type.is_array
+            and finfo.type.name in mutable_set
+        }
+        if not candidates:
+            continue
+        facts = {key: _RefFieldFacts() for key in candidates}
+        g_locals: dict[str, set[int]] = {key: set() for key in candidates}
+        # Fixpoint over g-holding locals (loops can defeat one pass).
+        for _ in range(4):
+            grew = False
+            for method in cls.methods.values():
+                if method.is_abstract or not method.code:
+                    continue
+                collector = _RefFieldCollector(unit, facts, g_locals)
+                walk_method(method, collector, unit=unit)
+                grew = grew or collector.grew
+            if not grew:
+                break
+
+        for key, finfo in candidates.items():
+            f = facts[key]
+            if f.escaped or not f.assignments:
+                continue
+            target_classes = {a[0] for a in f.assignments}
+            ctor_keys = {a[1] for a in f.assignments}
+            if len(target_classes) != 1 or len(ctor_keys) != 1:
+                continue  # must always be `new M(...)` via one constructor
+            target = next(iter(target_classes))
+            if target != finfo.type.name or target not in mutable_set:
+                continue
+            ctor_key = next(iter(ctor_keys))
+            constants = dict(ctor_consts[target].get(ctor_key, {}))
+            # Drop fields modified outside target ctors, or by D itself.
+            constants = {
+                fk: v
+                for fk, v in constants.items()
+                if fk not in outside_writes[target]
+                and fk not in f.modified_fields
+            }
+            if not constants:
+                continue
+            results[key] = LifetimeConstInfo(
+                ref_field_key=key,
+                target_class=target,
+                field_values_by_name={
+                    fk.rpartition(".")[2]: v for fk, v in constants.items()
+                },
+            )
+    return results

@@ -1,0 +1,426 @@
+"""The online mutation manager — paper §3.2.2's distributed dynamic
+class mutation algorithm (Fig. 4 + Fig. 5).
+
+At VM startup (:meth:`MutationManager.attach`):
+
+* each mutable class that depends on at least one **instance** state
+  field gets one special TIB per hot state, replicated from the class
+  TIB (entries initially alias the class TIB's — lazy compilation is
+  preserved);
+* every PUTFIELD/PUTSTATIC writing a state field gets a state hook, and
+  every constructor of a mutable class gets a constructor-exit hook
+  (Fig. 4's patch points);
+* mutable-class IMT entries are converted to offset entries so one IMT
+  serves the class TIB and all special TIBs (paper §3.2.3);
+* mutable methods are flagged for the inliner's trade-off heuristic and
+  the plan's lifetime constants are published to the VM.
+
+At runtime:
+
+* **instance state-field writes / constructor exits** re-evaluate the
+  object's instance state values and swap its TIB pointer between the
+  matching special TIB and the class TIB (Fig. 4, first two clauses);
+* **static state-field writes** re-evaluate each dependent class's
+  static match and repoint compiled-code pointers: special-TIB entries
+  for instance+static classes, class-TIB entries for static-only
+  classes, JTOC cells for mutable static methods, and the
+  RuntimeMethod's active pointer for private methods of static-only
+  classes (Fig. 4, third clause; §3.2.3);
+* **opt2 recompilation of a mutable method** (Fig. 5) generates every
+  specialized version alongside the general code — with no value
+  guards — then re-applies the current static match.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.bytecode.opcodes import Op
+from repro.mutation.plan import HotState, MutableClassPlan, MutationPlan
+from repro.opt.specialize import SpecBindings
+from repro.vm.imt import ConflictStub, DirectEntry, OffsetEntry
+from repro.vm.tib import TIB
+
+#: Paper §6: "Mutation occurs at opt2."
+MUTATION_OPT_LEVEL = 2
+
+
+class MutableClassRuntime:
+    """Link-time resolution of one :class:`MutableClassPlan`."""
+
+    def __init__(self, vm: Any, plan: MutableClassPlan) -> None:
+        self.plan = plan
+        self.rc = vm.classes[plan.class_name]
+        unit = vm.unit
+        self.instance_slots = [
+            unit.lookup_field(s.declaring_class, s.field_name).slot
+            for s in plan.instance_fields
+        ]
+        self.static_slots = [
+            unit.lookup_field(s.declaring_class, s.field_name).slot
+            for s in plan.static_fields
+        ]
+        self.hot_states = list(plan.hot_states)
+        #: instance-values tuple -> special TIB (shared by states that
+        #: differ only in static values).
+        self.tib_by_instance: dict[tuple, TIB] = {}
+        #: Current static-side values matched against hot states.
+        self.current_static_values: tuple = ()
+
+    @property
+    def class_name(self) -> str:
+        return self.plan.class_name
+
+    def read_static_values(self, vm: Any) -> tuple:
+        return tuple(vm.jtoc.fields[slot] for slot in self.static_slots)
+
+    def read_instance_values(self, obj: Any) -> tuple:
+        return tuple(obj.fields[slot] for slot in self.instance_slots)
+
+    def states_matching_static(self, static_values: tuple) -> list[HotState]:
+        return [
+            hs for hs in self.hot_states if hs.static_values == static_values
+        ]
+
+    def mutable_rms(self) -> list[Any]:
+        out = []
+        for key in self.plan.mutable_methods:
+            rm = self.rc.own_methods.get(key)
+            if rm is not None:
+                out.append(rm)
+        return out
+
+
+class MutationManager:
+    """Owns all mutation state for one VM."""
+
+    def __init__(self, vm: Any, plan: MutationPlan) -> None:
+        self.vm = vm
+        self.plan = plan
+        self.mcrs: dict[str, MutableClassRuntime] = {}
+        #: Counters for the harness.
+        self.tib_swaps = 0
+        self.special_versions_compiled = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        vm = self.vm
+        for name, class_plan in self.plan.classes.items():
+            if name not in vm.classes:
+                continue
+            mcr = MutableClassRuntime(vm, class_plan)
+            self.mcrs[name] = mcr
+            self._create_special_tibs(mcr)
+            self._mark_mutable_methods(mcr)
+            self._convert_imt(mcr)
+        self._install_field_hooks()
+        self._install_ctor_hooks()
+        self._publish_lifetime_constants()
+        vm.adaptive.recompile_listeners.append(self.on_recompiled)
+
+    def _create_special_tibs(self, mcr: MutableClassRuntime) -> None:
+        """One special TIB per hot state; states sharing instance values
+        share a TIB (the static side selects the code pointers).  Classes
+        depending only on static fields need no special TIB (§3.2.2)."""
+        if not mcr.instance_slots:
+            return
+        for hs in mcr.hot_states:
+            if hs.instance_values in mcr.tib_by_instance:
+                continue
+            tib = TIB.special_from(mcr.rc.class_tib, state=hs.instance_values)
+            mcr.tib_by_instance[hs.instance_values] = tib
+            mcr.rc.special_tibs[hs.instance_values] = tib
+            self.vm.tib_space.record_special_tib(tib)
+            self.vm.mutation_stats.special_tibs_created += 1
+
+    def _mark_mutable_methods(self, mcr: MutableClassRuntime) -> None:
+        for rm in mcr.mutable_rms():
+            rm.is_mutable = True
+            rm.num_state_fields = mcr.plan.num_state_fields  # type: ignore[attr-defined]
+
+    def _convert_imt(self, mcr: MutableClassRuntime) -> None:
+        """Mutable classes dispatch interface calls through TIB offsets so
+        special TIBs are honored and one IMT serves them all (§3.2.3)."""
+        rc = mcr.rc
+        if rc.imt is None:
+            return
+        for key, slot in rc.imt_slot_of.items():
+            offset = rc.vtable_layout[key]
+            entry = rc.imt.slots[slot]
+            if isinstance(entry, DirectEntry):
+                rc.imt.slots[slot] = OffsetEntry(offset)
+            elif isinstance(entry, ConflictStub):
+                entry.targets[key] = OffsetEntry(offset)
+
+    def _state_field_keys(self) -> tuple[dict[str, list], dict[str, list]]:
+        """(instance field key -> interested mcrs,
+        static field key -> interested mcrs)."""
+        instance: dict[str, list] = {}
+        static: dict[str, list] = {}
+        for mcr in self.mcrs.values():
+            for spec in mcr.plan.instance_fields:
+                instance.setdefault(spec.key, []).append(mcr)
+            for spec in mcr.plan.static_fields:
+                static.setdefault(spec.key, []).append(mcr)
+        return instance, static
+
+    def _install_field_hooks(self) -> None:
+        instance_keys, static_keys = self._state_field_keys()
+        unit = self.vm.unit
+        for method in unit.all_methods():
+            if method.is_abstract:
+                continue
+            for instr in method.code:
+                if instr.op is Op.PUTFIELD:
+                    cls_name, field_name = instr.arg
+                    finfo = unit.lookup_field(cls_name, field_name)
+                    key = f"{finfo.declaring_class}.{finfo.name}"
+                    if key in instance_keys:
+                        instr.state_hook = self._make_instance_hook()
+                elif instr.op is Op.PUTSTATIC:
+                    cls_name, field_name = instr.arg
+                    finfo = unit.lookup_field(cls_name, field_name)
+                    key = f"{finfo.declaring_class}.{finfo.name}"
+                    mcrs = static_keys.get(key)
+                    if mcrs:
+                        instr.state_hook = self._make_static_hook(mcrs)
+
+    def _install_ctor_hooks(self) -> None:
+        """Fig. 4, first clause: at the end of the constructors of a
+        mutable class whose state depends on any instance field.  The
+        exact-class check matters: a subclass construction runs this
+        constructor via super(), but only exact instances mutate."""
+        for mcr in self.mcrs.values():
+            if not mcr.instance_slots:
+                continue
+            reeval = self._make_reeval(mcr)
+            rc = mcr.rc
+
+            def ctor_hook(vm: Any, obj: Any, _rc=rc, _reeval=reeval) -> None:
+                if obj.tib.type_info is _rc:
+                    _reeval(obj)
+
+            spec = getattr(reeval, "inline_spec", None)
+            if spec is not None:
+                ctor_hook.inline_spec = spec  # type: ignore[attr-defined]
+            for rm in mcr.rc.own_methods.values():
+                if rm.info.is_constructor:
+                    rm.ctor_exit_hook = ctor_hook
+
+    def _publish_lifetime_constants(self) -> None:
+        unit = self.vm.unit
+        published = {}
+        for key, info in self.plan.lifetime_constants.items():
+            target = info.target_class
+            info.field_values = {}
+            for fname, value in info.field_values_by_name.items():
+                finfo = unit.lookup_field(target, fname)
+                if finfo is not None and not finfo.is_static:
+                    info.field_values[finfo.slot] = value
+            if info.field_values:
+                published[key] = info
+        self.vm.lifetime_constants = published
+
+    # ------------------------------------------------------------------
+    # Fig. 4: actions at state-field assignments
+    # ------------------------------------------------------------------
+
+    def _make_instance_hook(self):
+        """The generic state-field-write hook (Fig. 4, second clause).
+
+        Dispatches on the object's exact class; single-state-field
+        classes (the common case) take a tuple-free fast path — this
+        hook runs on every mutable-object allocation, so its cost is the
+        mutation technique's main runtime tax.
+        """
+        reeval_by_class: dict[str, Any] = {}
+        for name, mcr in self.mcrs.items():
+            if mcr.instance_slots:
+                reeval_by_class[name] = self._make_reeval(mcr)
+
+        def hook(vm: Any, obj: Any) -> None:
+            if obj is None:
+                return
+            reeval = reeval_by_class.get(obj.tib.type_info.name)
+            if reeval is not None:
+                reeval(obj)
+
+        return hook
+
+    def _make_reeval(self, mcr: MutableClassRuntime):
+        """Class-specialized TIB re-evaluation closure.
+
+        Single-state-field classes (the common case) dispatch on the raw
+        field value — no tuple allocation on the per-object-birth path.
+        """
+        manager = self
+        class_tib = mcr.rc.class_tib
+        if len(mcr.instance_slots) == 1:
+            slot = mcr.instance_slots[0]
+            table1 = {
+                key[0]: tib for key, tib in mcr.tib_by_instance.items()
+            }
+
+            def reeval1(obj: Any) -> None:
+                tib = table1.get(obj.fields[slot], class_tib)
+                if obj.tib is not tib:
+                    obj.tib = tib
+                    manager.tib_swaps += 1
+
+            reeval1.inline_spec = (  # type: ignore[attr-defined]
+                "single", mcr.rc, slot, table1, class_tib, manager
+            )
+            return reeval1
+        slots = tuple(mcr.instance_slots)
+        table = mcr.tib_by_instance
+
+        def reeval(obj: Any) -> None:
+            fields = obj.fields
+            tib = table.get(
+                tuple(fields[s] for s in slots), class_tib
+            )
+            if obj.tib is not tib:
+                obj.tib = tib
+                manager.tib_swaps += 1
+
+        return reeval
+
+    def _make_static_hook(self, mcrs: list[MutableClassRuntime]):
+        def hook(vm: Any, _obj: Any) -> None:
+            for mcr in mcrs:
+                self.apply_static_state(mcr)
+
+        return hook
+
+    def reevaluate_object(self, mcr: MutableClassRuntime, obj: Any) -> None:
+        """Swap the object's TIB pointer per its instance state values."""
+        values = mcr.read_instance_values(obj)
+        tib = mcr.tib_by_instance.get(values)
+        new_tib = tib if tib is not None else mcr.rc.class_tib
+        if obj.tib is not new_tib:
+            obj.tib = new_tib
+            self.tib_swaps += 1
+            self.vm.mutation_stats.tib_swaps += 1
+
+    def apply_static_state(self, mcr: MutableClassRuntime) -> None:
+        """Fig. 4, third clause (also reused by Fig. 5): repoint compiled
+        code according to the current static state-field values."""
+        vm = self.vm
+        static_values = mcr.read_static_values(vm)
+        mcr.current_static_values = static_values
+        for rm in mcr.mutable_rms():
+            if not rm.specials:
+                continue
+            info = rm.info
+            if info.is_static:
+                # Static methods: JTOC patching; they can only depend on
+                # static fields, so the state key has empty instance part.
+                special = rm.specials.get(((), static_values))
+                rm.jtoc_cell.compiled = (
+                    special if special is not None else rm.compiled
+                )
+            elif mcr.instance_slots:
+                # Instance+static classes: patch each special TIB.
+                # Private instance methods have no TIB slot and cannot be
+                # mutated here (paper §3.2.3); the plan builder filters
+                # them, and this guard protects hand-written plans.
+                if rm.vtable_offset < 0:
+                    continue
+                for inst_values, tib in mcr.tib_by_instance.items():
+                    special = rm.specials.get((inst_values, static_values))
+                    tib.entries[rm.vtable_offset] = (
+                        special if special is not None else rm.compiled
+                    )
+            else:
+                # Static-only classes: patch the class TIB itself; all
+                # instances share the mutation state (§3.2.2).  Private
+                # instance methods swap the invokespecial pointer
+                # (§3.2.3: the class TIB itself can be specialized).
+                special = rm.specials.get(((), static_values))
+                active = special if special is not None else rm.general
+                if rm.vtable_offset >= 0:
+                    mcr.rc.class_tib.entries[rm.vtable_offset] = active
+                else:
+                    rm.compiled = active
+
+    # ------------------------------------------------------------------
+    # Fig. 5: actions at opt2 recompilation of mutable methods
+    # ------------------------------------------------------------------
+
+    def on_recompiled(self, rm: Any, opt_level: int) -> None:
+        if opt_level < MUTATION_OPT_LEVEL or not rm.is_mutable:
+            return
+        mcr = self.mcrs.get(rm.info.declaring_class)
+        if mcr is None:
+            return
+        self.generate_specials(mcr, rm)
+        self.apply_static_state(mcr)
+
+    def generate_specials(self, mcr: MutableClassRuntime, rm: Any) -> None:
+        """Compile one specialized version per hot state (Fig. 5: "all
+        special compiled code ... of this method are generated")."""
+        vm = self.vm
+        info = rm.info
+        if (
+            not info.is_static
+            and rm.vtable_offset < 0
+            and mcr.instance_slots
+        ):
+            return  # unreachable through any special TIB (paper §3.2.3)
+        for hs in mcr.hot_states:
+            bindings = SpecBindings(label=hs.describe(mcr.plan))
+            if not rm.info.is_static:
+                bindings.instance = dict(
+                    zip(mcr.instance_slots, hs.instance_values)
+                )
+            bindings.static = dict(
+                zip(mcr.static_slots, hs.static_values)
+            )
+            if rm.info.is_static and not bindings.static:
+                continue  # nothing to specialize a static method on
+            key = (
+                ((), hs.static_values)
+                if rm.info.is_static
+                else hs.key
+            )
+            if key in rm.specials:
+                continue
+            start = time.perf_counter()
+            special = vm.opt_compiler.compile(
+                rm, MUTATION_OPT_LEVEL, bindings=bindings
+            )
+            seconds = time.perf_counter() - start
+            rm.specials[key] = special
+            self.special_versions_compiled += 1
+            vm.compile_stats.record_special(
+                seconds, special.code_size_bytes
+            )
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = []
+        for name in sorted(self.mcrs):
+            mcr = self.mcrs[name]
+            lines.append(
+                f"{name}: {len(mcr.tib_by_instance)} special TIBs, "
+                f"static match {mcr.current_static_values!r}"
+            )
+            for rm in mcr.mutable_rms():
+                lines.append(
+                    f"  {rm.info.qualified_name}: "
+                    f"{len(rm.specials)} special versions"
+                )
+        lines.append(
+            f"tib swaps: {self.tib_swaps}, "
+            f"special versions: {self.special_versions_compiled}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The JxVM optimizing compiler: IR, analyses, passes, and backends."""
+
+from repro.opt.boundselim import eliminate_bounds_checks
+from repro.opt.branchfold import cleanup_cfg, fold_branches
+from repro.opt.constprop import constant_propagation
+from repro.opt.dce import dead_code_elimination
+from repro.opt.inline import InlineConfig, inline_calls
+from repro.opt.ir import Block, Const, Extra, IRFunction, IRInstr, Reg
+from repro.opt.lowering import lower_method
+from repro.opt.pipeline import OptCompiler, OptConfig
+from repro.opt.simplify import simplify
+from repro.opt.specialize import SpecBindings, specialize_ir
+from repro.opt.strength import strength_reduce
+
+__all__ = [
+    "Block",
+    "Const",
+    "Extra",
+    "IRFunction",
+    "IRInstr",
+    "InlineConfig",
+    "OptCompiler",
+    "OptConfig",
+    "Reg",
+    "SpecBindings",
+    "cleanup_cfg",
+    "constant_propagation",
+    "dead_code_elimination",
+    "eliminate_bounds_checks",
+    "fold_branches",
+    "inline_calls",
+    "lower_method",
+    "simplify",
+    "specialize_ir",
+    "strength_reduce",
+]

@@ -1,0 +1,46 @@
+"""Array bounds-check elimination.
+
+Block-local redundancy elimination: the second access to the same
+``(array, index)`` pair within a block needs no re-check, provided
+neither operand was redefined in between.  This covers the common
+read-modify-write pattern compound assignments generate
+(``a[i] += x`` lowers to an ``aload``/``astore`` pair on identical
+operands).
+
+The check flag lives on the instruction (``extra.bounds``); backends
+honor it by skipping the range test.
+"""
+
+from __future__ import annotations
+
+from repro.opt.ir import Const, IRFunction, Operand, Reg
+
+
+def _operand_key(operand: Operand) -> tuple:
+    if isinstance(operand, Const):
+        return ("const", repr(operand.value))
+    return ("reg", operand.name)
+
+
+def eliminate_bounds_checks(fn: IRFunction) -> int:
+    """Drop provably redundant bounds checks; returns the count removed."""
+    removed = 0
+    for block in fn.block_order():
+        checked: set[tuple] = set()
+        for instr in block.instrs:
+            if instr.op in ("aload", "astore"):
+                key = (_operand_key(instr.args[0]), _operand_key(instr.args[1]))
+                if instr.extra.bounds and key in checked:
+                    instr.extra.bounds = False
+                    removed += 1
+                else:
+                    checked.add(key)
+            if instr.dest is not None:
+                # A redefined register invalidates facts mentioning it.
+                name = instr.dest.name
+                checked = {
+                    fact
+                    for fact in checked
+                    if ("reg", name) not in fact
+                }
+    return removed

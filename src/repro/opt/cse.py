@@ -1,0 +1,102 @@
+"""Block-local common-subexpression elimination for loads.
+
+Duplicate ``getfield``/``getstatic``/``arraylen`` results within a block
+are rewritten to reuse the first load (as a ``mov``, which copy
+propagation then erases).  Conservative invalidation:
+
+* a call (or mutation hook) may write any field — both field-load tables
+  reset;
+* ``putfield``/``putstatic`` kill loads of the same slot;
+* ``arraylen`` facts survive everything (Jx arrays are fixed-length).
+
+This is what lets the compound-assignment pattern
+``a[i] = a[i] + 1`` collapse to a single field load and a single bounds
+check.
+"""
+
+from __future__ import annotations
+
+from repro.opt.ir import CALL_OPS, Const, IRFunction, IRInstr, Operand, Reg
+
+
+def _operand_key(operand: Operand) -> tuple:
+    if isinstance(operand, Const):
+        return ("c", repr(operand.value))
+    return ("r", operand.name)
+
+
+def local_cse(fn: IRFunction) -> int:
+    """Run load-CSE over every block; returns the number of loads reused."""
+    reused = 0
+    for block in fn.block_order():
+        field_loads: dict[tuple, Reg] = {}
+        static_loads: dict[int, Reg] = {}
+        len_loads: dict[tuple, Reg] = {}
+        new_instrs: list[IRInstr] = []
+        for instr in block.instrs:
+            op = instr.op
+            replaced = False
+            # A redefinition of a register invalidates facts built on it
+            # (done *before* this instruction records its own fact).
+            if instr.dest is not None:
+                name = instr.dest.name
+                field_loads = {
+                    k: v
+                    for k, v in field_loads.items()
+                    if k[0] != ("r", name) and v.name != name
+                }
+                len_loads = {
+                    k: v
+                    for k, v in len_loads.items()
+                    if k != ("r", name) and v.name != name
+                }
+                static_loads = {
+                    k: v for k, v in static_loads.items() if v.name != name
+                }
+            if op == "getfield":
+                key = (_operand_key(instr.args[0]), instr.extra.slot)
+                prev = field_loads.get(key)
+                if prev is not None:
+                    new_instrs.append(
+                        IRInstr("mov", instr.dest, [prev], line=instr.line)
+                    )
+                    reused += 1
+                    replaced = True
+                else:
+                    field_loads[key] = instr.dest
+            elif op == "getstatic":
+                prev = static_loads.get(instr.extra.slot)
+                if prev is not None:
+                    new_instrs.append(
+                        IRInstr("mov", instr.dest, [prev], line=instr.line)
+                    )
+                    reused += 1
+                    replaced = True
+                else:
+                    static_loads[instr.extra.slot] = instr.dest
+            elif op == "arraylen":
+                key = _operand_key(instr.args[0])
+                prev = len_loads.get(key)
+                if prev is not None:
+                    new_instrs.append(
+                        IRInstr("mov", instr.dest, [prev], line=instr.line)
+                    )
+                    reused += 1
+                    replaced = True
+                else:
+                    len_loads[key] = instr.dest
+            elif op == "putfield":
+                slot = instr.extra.slot
+                field_loads = {
+                    k: v for k, v in field_loads.items() if k[1] != slot
+                }
+            elif op == "putstatic":
+                static_loads.pop(instr.extra.slot, None)
+            elif op in CALL_OPS or op == "hookcall":
+                field_loads.clear()
+                static_loads.clear()
+
+            if not replaced:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+    return reused

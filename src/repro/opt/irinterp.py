@@ -1,0 +1,251 @@
+"""The opt1 execution engine: an IR interpreter.
+
+Executes an optimized :class:`~repro.opt.ir.IRFunction` directly.  This
+is JxVM's middle tier — the code has been through the cheap optimization
+pipeline (fewer instructions than the bytecode) but avoids opt2's
+codegen cost.  Backedge ticks keep feeding the adaptive system so hot
+methods proceed to opt2.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any
+
+from repro.opt.ir import Const, IRFunction
+from repro.vm.interpreter import JxStackTrace, _is_ref
+from repro.vm.values import (
+    ArrayBoundsError,
+    ClassCastError,
+    NullPointerError,
+    VMArray,
+    VMRuntimeError,
+    jx_rem,
+    jx_str,
+    jx_truncate_div,
+)
+
+_BIN = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "shl": operator.lshift,
+    "shr": operator.rshift,
+    "band": operator.and_,
+    "bor": operator.or_,
+    "bxor": operator.xor,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0:
+        if a == 0:
+            return float("nan")
+        return float("inf") if a > 0 else float("-inf")
+    return a / b
+
+
+def _ref_eq(a: Any, b: Any) -> bool:
+    return (a is b) if _is_ref(a) or _is_ref(b) else (a == b)
+
+
+def execute_ir(vm: Any, rm: Any, fn: IRFunction, args: list[Any]) -> Any:
+    """Run ``fn`` with ``args``; semantics identical to the bytecode tier."""
+    regs: dict[str, Any] = {}
+    for i in range(fn.num_args):
+        regs[f"l{i}"] = args[i]
+    samples = rm.samples
+    blocks = fn.blocks
+    bid = fn.entry
+
+    def val(operand):
+        if type(operand) is Const:
+            return operand.value
+        return regs[operand.name]
+
+    try:
+        while True:
+            for instr in blocks[bid].instrs:
+                op = instr.op
+                a = instr.args
+                if op == "mov":
+                    regs[instr.dest.name] = val(a[0])
+                elif op in _BIN:
+                    regs[instr.dest.name] = _BIN[op](val(a[0]), val(a[1]))
+                elif op == "getfield":
+                    obj = val(a[0])
+                    if obj is None:
+                        raise NullPointerError(
+                            f"null receiver reading {instr.extra.key}"
+                        )
+                    regs[instr.dest.name] = obj.fields[instr.extra.slot]
+                elif op == "putfield":
+                    obj = val(a[0])
+                    if obj is None:
+                        raise NullPointerError(
+                            f"null receiver writing {instr.extra.key}"
+                        )
+                    obj.fields[instr.extra.slot] = val(a[1])
+                    if instr.extra.hook is not None:
+                        instr.extra.hook(vm, obj)
+                elif op == "getstatic":
+                    regs[instr.dest.name] = vm.jtoc.fields[instr.extra.slot]
+                elif op == "putstatic":
+                    vm.jtoc.fields[instr.extra.slot] = val(a[0])
+                    if instr.extra.hook is not None:
+                        instr.extra.hook(vm, None)
+                elif op == "eq":
+                    regs[instr.dest.name] = _ref_eq(val(a[0]), val(a[1]))
+                elif op == "ne":
+                    regs[instr.dest.name] = not _ref_eq(val(a[0]), val(a[1]))
+                elif op == "idiv":
+                    regs[instr.dest.name] = jx_truncate_div(
+                        val(a[0]), val(a[1])
+                    )
+                elif op == "fdiv":
+                    regs[instr.dest.name] = _fdiv(val(a[0]), val(a[1]))
+                elif op == "irem":
+                    regs[instr.dest.name] = jx_rem(val(a[0]), val(a[1]))
+                elif op == "neg":
+                    regs[instr.dest.name] = -val(a[0])
+                elif op == "not":
+                    regs[instr.dest.name] = not val(a[0])
+                elif op == "i2d":
+                    regs[instr.dest.name] = float(val(a[0]))
+                elif op == "d2i":
+                    regs[instr.dest.name] = int(val(a[0]))
+                elif op == "concat":
+                    regs[instr.dest.name] = jx_str(val(a[0])) + jx_str(
+                        val(a[1])
+                    )
+                elif op == "aload":
+                    arr = val(a[0])
+                    idx = val(a[1])
+                    if arr is None:
+                        raise NullPointerError("null array in load")
+                    if instr.extra.bounds and not 0 <= idx < len(arr.data):
+                        raise ArrayBoundsError(
+                            f"index {idx} out of range [0, {len(arr.data)})"
+                        )
+                    regs[instr.dest.name] = arr.data[idx]
+                elif op == "astore":
+                    arr = val(a[0])
+                    idx = val(a[1])
+                    if arr is None:
+                        raise NullPointerError("null array in store")
+                    if instr.extra.bounds and not 0 <= idx < len(arr.data):
+                        raise ArrayBoundsError(
+                            f"index {idx} out of range [0, {len(arr.data)})"
+                        )
+                    arr.data[idx] = val(a[2])
+                elif op == "arraylen":
+                    arr = val(a[0])
+                    if arr is None:
+                        raise NullPointerError("null array in length")
+                    regs[instr.dest.name] = len(arr.data)
+                elif op == "new":
+                    regs[instr.dest.name] = instr.extra.rc.allocate(vm)
+                elif op == "newarray":
+                    length = val(a[0])
+                    arr = VMArray(instr.extra.elem, length, instr.extra.fill)
+                    vm.heap.record_array(length)
+                    regs[instr.dest.name] = arr
+                elif op == "instanceof":
+                    obj = val(a[0])
+                    regs[instr.dest.name] = (
+                        obj is not None
+                        and instr.extra.rc.name
+                        in obj.tib.type_info.all_supertypes
+                    )
+                elif op == "checkcast":
+                    obj = val(a[0])
+                    if (
+                        obj is not None
+                        and instr.extra.rc.name
+                        not in obj.tib.type_info.all_supertypes
+                    ):
+                        raise ClassCastError(
+                            f"cannot cast {obj.tib.type_info.name} to "
+                            f"{instr.extra.rc.name}"
+                        )
+                elif op == "callv":
+                    callargs = [val(x) for x in a]
+                    recv = callargs[0]
+                    if recv is None:
+                        raise NullPointerError(
+                            f"null receiver calling {instr.extra.key}"
+                        )
+                    result = recv.tib.entries[instr.extra.offset].invoke(
+                        vm, callargs
+                    )
+                    if instr.dest is not None:
+                        regs[instr.dest.name] = result
+                elif op == "calls":
+                    callargs = [val(x) for x in a]
+                    result = instr.extra.cell.compiled.invoke(vm, callargs)
+                    if instr.dest is not None:
+                        regs[instr.dest.name] = result
+                elif op == "callsp":
+                    callargs = [val(x) for x in a]
+                    if callargs[0] is None:
+                        raise NullPointerError(
+                            f"null receiver calling {instr.extra.key}"
+                        )
+                    result = instr.extra.rm.compiled.invoke(vm, callargs)
+                    if instr.dest is not None:
+                        regs[instr.dest.name] = result
+                elif op == "calli":
+                    callargs = [val(x) for x in a]
+                    recv = callargs[0]
+                    if recv is None:
+                        raise NullPointerError(
+                            f"null receiver calling {instr.extra.key}"
+                        )
+                    compiled = recv.tib.imt.dispatch(
+                        recv, instr.extra.slot, instr.extra.key
+                    )
+                    result = compiled.invoke(vm, callargs)
+                    if instr.dest is not None:
+                        regs[instr.dest.name] = result
+                elif op == "intr":
+                    intr = instr.extra.intrinsic
+                    result = intr.fn(
+                        vm.intrinsic_ctx, *[val(x) for x in a]
+                    )
+                    if instr.dest is not None:
+                        regs[instr.dest.name] = result
+                elif op == "hookcall":
+                    instr.extra.hook(vm, val(a[0]))
+                elif op == "jump":
+                    target = instr.extra.target
+                    if target <= bid:
+                        samples.ticks += 1
+                        if samples.ticks >= samples.threshold:
+                            vm.adaptive.on_hot(rm)
+                    bid = target
+                    break
+                elif op == "br":
+                    target = (
+                        instr.extra.if_true
+                        if val(a[0])
+                        else instr.extra.if_false
+                    )
+                    if target <= bid:
+                        samples.ticks += 1
+                        if samples.ticks >= samples.threshold:
+                            vm.adaptive.on_hot(rm)
+                    bid = target
+                    break
+                elif op == "ret":
+                    return val(a[0]) if a else None
+                else:  # pragma: no cover
+                    raise VMRuntimeError(f"unhandled IR op {op!r}")
+    except JxStackTrace as trace:
+        trace.frames.append(f"{fn.name} (opt1)")
+        raise
+    except VMRuntimeError as exc:
+        raise JxStackTrace(exc, [f"{fn.name} (opt1)"]) from exc

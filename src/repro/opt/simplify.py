@@ -1,0 +1,137 @@
+"""Local simplification: copy propagation, constant folding, algebra.
+
+Runs block-locally (copy tables reset at block entry) and is sound
+without type information except where noted; every algebraic identity
+here preserves IEEE semantics and Jx integer semantics exactly.
+"""
+
+from __future__ import annotations
+
+from repro.opt.fold import NoFold, fold_op
+from repro.opt.ir import BINARY_OPS, Const, IRFunction, IRInstr, Operand, Reg, UNARY_OPS
+
+
+def _resolve(table: dict[str, Operand], operand: Operand) -> Operand:
+    """Follow the copy chain for ``operand`` through ``table``."""
+    seen = 0
+    while isinstance(operand, Reg) and operand.name in table:
+        operand = table[operand.name]
+        seen += 1
+        if seen > 64:  # defensive: cycles cannot occur, but cap anyway
+            break
+    return operand
+
+
+def _invalidate(table: dict[str, Operand], reg_name: str) -> None:
+    """Drop copy facts involving a redefined register."""
+    table.pop(reg_name, None)
+    stale = [
+        k
+        for k, v in table.items()
+        if isinstance(v, Reg) and v.name == reg_name
+    ]
+    for k in stale:
+        del table[k]
+
+
+def _algebraic(instr: IRInstr) -> IRInstr | None:
+    """Return a replacement instruction for sound identities, or None."""
+    op = instr.op
+    args = instr.args
+    if op == "add":
+        for i in (0, 1):
+            other = args[1 - i]
+            if args[i] == Const(0):
+                return IRInstr("mov", instr.dest, [other], line=instr.line)
+    elif op == "sub":
+        if args[1] == Const(0):
+            return IRInstr("mov", instr.dest, [args[0]], line=instr.line)
+    elif op == "mul":
+        for i in (0, 1):
+            other = args[1 - i]
+            if args[i] == Const(1):
+                return IRInstr("mov", instr.dest, [other], line=instr.line)
+    elif op in ("idiv", "fdiv"):
+        if args[1] == Const(1):
+            return IRInstr("mov", instr.dest, [args[0]], line=instr.line)
+    elif op in ("shl", "shr"):
+        if args[1] == Const(0):
+            return IRInstr("mov", instr.dest, [args[0]], line=instr.line)
+    elif op == "eq":
+        for i in (0, 1):
+            if args[i] == Const(True):
+                return IRInstr(
+                    "mov", instr.dest, [args[1 - i]], line=instr.line
+                )
+    elif op == "bor" or op == "bxor":
+        for i in (0, 1):
+            if args[i] == Const(0):
+                return IRInstr(
+                    "mov", instr.dest, [args[1 - i]], line=instr.line
+                )
+    return None
+
+
+def simplify(fn: IRFunction) -> int:
+    """One simplification sweep; returns the number of rewrites."""
+    rewrites = 0
+    for block in fn.block_order():
+        copies: dict[str, Operand] = {}
+        new_instrs: list[IRInstr] = []
+        for instr in block.instrs:
+            # 1. Copy-propagate arguments.
+            new_args = []
+            for a in instr.args:
+                resolved = _resolve(copies, a)
+                if resolved is not a:
+                    rewrites += 1
+                new_args.append(resolved)
+            instr.args = new_args
+
+            # 2. Constant-fold pure ops with all-constant args.
+            if (
+                instr.dest is not None
+                and (instr.op in BINARY_OPS or instr.op in UNARY_OPS)
+                and all(isinstance(a, Const) for a in instr.args)
+            ):
+                try:
+                    value = fold_op(
+                        instr.op, [a.value for a in instr.args]
+                    )
+                    instr = IRInstr(
+                        "mov", instr.dest, [Const(value)], line=instr.line
+                    )
+                    rewrites += 1
+                except NoFold:
+                    pass
+
+            # 3. Algebraic identities.
+            replacement = _algebraic(instr)
+            if replacement is not None:
+                instr = replacement
+                rewrites += 1
+
+            # 4. Track copies; invalidate on redefinition.
+            if instr.dest is not None:
+                _invalidate(copies, instr.dest.name)
+                if instr.op == "mov":
+                    src = instr.args[0]
+                    if not (isinstance(src, Reg) and src == instr.dest):
+                        copies[instr.dest.name] = src
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+    # Drop self-moves.
+    for block in fn.block_order():
+        kept = []
+        for instr in block.instrs:
+            if (
+                instr.op == "mov"
+                and isinstance(instr.args[0], Reg)
+                and instr.args[0] == instr.dest
+            ):
+                rewrites += 1
+                continue
+            kept.append(instr)
+        block.instrs = kept
+    return rewrites

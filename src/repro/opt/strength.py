@@ -1,0 +1,98 @@
+"""Strength reduction.
+
+Type-guarded rewrites (see :mod:`repro.opt.types`); each transform is
+exact for the proven operand types:
+
+* ``mul x, 2``           -> ``add x, x``           (int or double; IEEE-exact)
+* ``mul x, 2^k`` (int)   -> ``shl x, k``
+* ``irem x, 2^k``        -> ``band x, 2^k-1`` when ``x`` provably >= 0
+"""
+
+from __future__ import annotations
+
+from repro.opt.ir import Const, IRFunction, IRInstr, Operand, Reg
+from repro.opt.types import infer_types, is_int, is_numeric
+
+
+def _power_of_two(value: object) -> int | None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    if value > 1 and (value & (value - 1)) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def _provably_nonnegative(fn: IRFunction, operand: Operand) -> bool:
+    """Cheap syntactic non-negativity: const >= 0 or produced by ops with
+    non-negative range (arraylen, band with non-negative mask)."""
+    if isinstance(operand, Const):
+        return isinstance(operand.value, int) and operand.value >= 0
+    producers = [
+        instr
+        for block in fn.block_order()
+        for instr in block.instrs
+        if instr.dest is not None and instr.dest.name == operand.name
+    ]
+    if not producers:
+        return False
+    for instr in producers:
+        if instr.op == "arraylen":
+            continue
+        if instr.op == "band" and any(
+            isinstance(a, Const)
+            and isinstance(a.value, int)
+            and a.value >= 0
+            for a in instr.args
+        ):
+            continue
+        if instr.op == "mov" and all(
+            isinstance(a, Const)
+            and isinstance(a.value, int)
+            and a.value >= 0
+            for a in instr.args
+        ):
+            continue
+        return False
+    return True
+
+
+def strength_reduce(fn: IRFunction) -> int:
+    """Apply strength reductions; returns the number of rewrites."""
+    types = infer_types(fn)
+    changed = 0
+    for block in fn.block_order():
+        for i, instr in enumerate(block.instrs):
+            if instr.op == "mul":
+                for k in (0, 1):
+                    const = instr.args[k]
+                    other = instr.args[1 - k]
+                    if const == Const(2) and is_numeric(types, other):
+                        block.instrs[i] = IRInstr(
+                            "add", instr.dest, [other, other],
+                            line=instr.line,
+                        )
+                        changed += 1
+                        break
+                    if isinstance(const, Const) and is_int(types, other):
+                        shift = _power_of_two(const.value)
+                        if shift is not None:
+                            block.instrs[i] = IRInstr(
+                                "shl", instr.dest, [other, Const(shift)],
+                                line=instr.line,
+                            )
+                            changed += 1
+                            break
+            elif instr.op == "irem":
+                const = instr.args[1]
+                if isinstance(const, Const):
+                    shift = _power_of_two(const.value)
+                    if shift is not None and _provably_nonnegative(
+                        fn, instr.args[0]
+                    ):
+                        block.instrs[i] = IRInstr(
+                            "band", instr.dest,
+                            [instr.args[0], Const(const.value - 1)],
+                            line=instr.line,
+                        )
+                        changed += 1
+    return changed

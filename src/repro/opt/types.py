@@ -1,0 +1,129 @@
+"""Lightweight IR type inference.
+
+Assigns each register one of ``int``, ``double``, ``bool``, ``str``,
+``ref``, or ``?`` (unknown) by a forward fixpoint over all assignments.
+This is *advisory* information: passes may only apply a transform when
+the inferred type proves it sound (e.g. ``mul x, 2^k -> shl`` needs
+``x: int``).  Unknown is always a safe answer.
+"""
+
+from __future__ import annotations
+
+from repro.opt.ir import Const, IRFunction, Reg
+
+INT = "int"
+DOUBLE = "double"
+BOOL = "bool"
+STR = "str"
+REF = "ref"
+UNKNOWN = "?"
+
+#: Ops whose result type is fixed regardless of inputs.
+_FIXED_RESULT = {
+    "idiv": INT,
+    "irem": INT,
+    "shl": INT,
+    "shr": INT,
+    "band": INT,
+    "bor": INT,
+    "bxor": INT,
+    "fdiv": DOUBLE,
+    "i2d": DOUBLE,
+    "d2i": INT,
+    "lt": BOOL,
+    "le": BOOL,
+    "gt": BOOL,
+    "ge": BOOL,
+    "eq": BOOL,
+    "ne": BOOL,
+    "not": BOOL,
+    "instanceof": BOOL,
+    "concat": STR,
+    "arraylen": INT,
+    "new": REF,
+    "newarray": REF,
+}
+
+
+def const_type(value: object) -> str:
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, str):
+        return STR
+    if value is None:
+        return REF
+    return UNKNOWN
+
+
+def _join(a: str, b: str) -> str:
+    if a == b:
+        return a
+    return UNKNOWN
+
+
+def infer_types(fn: IRFunction) -> dict[str, str]:
+    """Register name -> inferred type (missing means never assigned)."""
+    types: dict[str, str] = {}
+    # Parameters carry their static Jx types (seeded by the lowerer);
+    # non-argument locals start unknown since their default
+    # initialization is ordinary bytecode.
+    kinds = getattr(fn, "param_kinds", None) or []
+    for i in range(fn.num_args):
+        kind = kinds[i] if i < len(kinds) else UNKNOWN
+        types[f"l{i}"] = kind if kind != "ref" else REF
+
+    def operand_type(operand) -> str:
+        if isinstance(operand, Const):
+            return const_type(operand.value)
+        return types.get(operand.name, UNKNOWN)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.block_order():
+            for instr in block.instrs:
+                if instr.dest is None:
+                    continue
+                op = instr.op
+                if op in _FIXED_RESULT:
+                    result = _FIXED_RESULT[op]
+                elif op == "mov":
+                    result = operand_type(instr.args[0])
+                elif op in ("add", "sub", "mul"):
+                    a = operand_type(instr.args[0])
+                    b = operand_type(instr.args[1])
+                    if a == INT and b == INT:
+                        result = INT
+                    elif a in (INT, DOUBLE) and b in (INT, DOUBLE):
+                        result = DOUBLE
+                    else:
+                        result = UNKNOWN
+                elif op == "neg":
+                    result = operand_type(instr.args[0])
+                else:  # calls, loads: unknown
+                    result = UNKNOWN
+                name = instr.dest.name
+                if name in types:
+                    new = _join(types[name], result)
+                else:
+                    new = result
+                if types.get(name) != new:
+                    types[name] = new
+                    changed = True
+    return types
+
+
+def is_int(types: dict[str, str], operand) -> bool:
+    if isinstance(operand, Const):
+        return const_type(operand.value) == INT
+    return types.get(operand.name) == INT
+
+
+def is_numeric(types: dict[str, str], operand) -> bool:
+    if isinstance(operand, Const):
+        return const_type(operand.value) in (INT, DOUBLE)
+    return types.get(operand.name) in (INT, DOUBLE)

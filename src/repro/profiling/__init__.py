@@ -1,0 +1,26 @@
+"""Offline profilers: hot methods (VTune analog) and state-field values."""
+
+from repro.profiling.method_profiler import (
+    MethodProfile,
+    ProfileResult,
+    profile_methods,
+)
+from repro.profiling.reports import (
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+from repro.profiling.value_profiler import ClassValueProfile, ValueProfiler
+
+__all__ = [
+    "ClassValueProfile",
+    "MethodProfile",
+    "ProfileResult",
+    "ValueProfiler",
+    "plan_from_dict",
+    "plan_from_json",
+    "plan_to_dict",
+    "plan_to_json",
+    "profile_methods",
+]

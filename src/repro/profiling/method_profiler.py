@@ -1,0 +1,84 @@
+"""Offline hot-method profiling — the paper's VTune stage (§3.1).
+
+Runs the program once on the opt0 interpreter (adaptive system off) and
+reads each method's sampling counters: invocations and *ticks* (16 per
+entry + 1 per loop backedge), a call-frequency × execution-time proxy
+equivalent to what the paper extracts from the Intel VTune analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.classfile import ProgramUnit
+from repro.vm.adaptive import AdaptiveConfig
+from repro.vm.runtime import VM
+
+
+@dataclass
+class MethodProfile:
+    """One method's measured hotness."""
+
+    qualified_name: str
+    declaring_class: str
+    invocations: int
+    ticks: int
+    share: float = 0.0
+
+
+@dataclass
+class ProfileResult:
+    """Ranked hot-method list for one profiling run."""
+
+    methods: list[MethodProfile] = field(default_factory=list)
+    total_ticks: int = 0
+    output: str = ""
+
+    def hotness_by_method(self) -> dict[str, float]:
+        return {m.qualified_name: m.share for m in self.methods}
+
+    def hot_methods(self, min_share: float) -> list[MethodProfile]:
+        return [m for m in self.methods if m.share >= min_share]
+
+    def hot_classes(self, min_share: float) -> set[str]:
+        return {m.declaring_class for m in self.hot_methods(min_share)}
+
+    def report(self, top: int = 20) -> str:
+        lines = [f"{'method':50s} {'calls':>10s} {'ticks':>12s} {'share':>7s}"]
+        for m in self.methods[:top]:
+            lines.append(
+                f"{m.qualified_name:50s} {m.invocations:>10d} "
+                f"{m.ticks:>12d} {m.share:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def profile_methods(unit: ProgramUnit, seed: int = 42) -> ProfileResult:
+    """Execute ``unit`` under the profiling configuration and rank methods.
+
+    The unit becomes owned by the profiling VM (link state); callers
+    wanting to run it elsewhere must recompile.
+    """
+    vm = VM(unit, adaptive_config=AdaptiveConfig(enabled=False), seed=seed)
+    run = vm.run()
+    profiles = []
+    total = 0
+    for rm in vm.all_runtime_methods():
+        samples = rm.samples
+        if samples.invocations == 0:
+            continue
+        profiles.append(
+            MethodProfile(
+                qualified_name=rm.info.qualified_name,
+                declaring_class=rm.info.declaring_class,
+                invocations=samples.invocations,
+                ticks=samples.ticks,
+            )
+        )
+        total += samples.ticks
+    for p in profiles:
+        p.share = p.ticks / total if total else 0.0
+    profiles.sort(key=lambda p: (-p.ticks, p.qualified_name))
+    return ProfileResult(
+        methods=profiles, total_ticks=total, output=run.output
+    )

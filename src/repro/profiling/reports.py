@@ -1,0 +1,93 @@
+"""Serialization and pretty reports for offline profiles and plans."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.mutation.plan import (
+    HotState,
+    LifetimeConstInfo,
+    MutableClassPlan,
+    MutationPlan,
+    StateFieldSpec,
+)
+
+
+def plan_to_dict(plan: MutationPlan) -> dict[str, Any]:
+    """A JSON-serializable rendering of a mutation plan."""
+    return {
+        "hot_methods": list(plan.hot_methods),
+        "classes": {
+            name: {
+                "instance_fields": [
+                    {"key": s.key, "score": s.score}
+                    for s in cp.instance_fields
+                ],
+                "static_fields": [
+                    {"key": s.key, "score": s.score}
+                    for s in cp.static_fields
+                ],
+                "hot_states": [
+                    {
+                        "instance": list(hs.instance_values),
+                        "static": list(hs.static_values),
+                        "share": hs.share,
+                    }
+                    for hs in cp.hot_states
+                ],
+                "mutable_methods": list(cp.mutable_methods),
+            }
+            for name, cp in plan.classes.items()
+        },
+        "lifetime_constants": {
+            key: {
+                "target_class": info.target_class,
+                "fields": dict(info.field_values_by_name),
+            }
+            for key, info in plan.lifetime_constants.items()
+        },
+    }
+
+
+def plan_to_json(plan: MutationPlan, indent: int = 2) -> str:
+    return json.dumps(plan_to_dict(plan), indent=indent, sort_keys=True)
+
+
+def plan_from_dict(data: dict[str, Any]) -> MutationPlan:
+    """Rebuild a plan from :func:`plan_to_dict` output (no config/scores
+    beyond what the dict carries)."""
+    plan = MutationPlan(hot_methods=list(data.get("hot_methods", [])))
+    for name, cd in data.get("classes", {}).items():
+        cp = MutableClassPlan(class_name=name)
+        for fd in cd.get("instance_fields", []):
+            cls, _, fname = fd["key"].rpartition(".")
+            cp.instance_fields.append(
+                StateFieldSpec(cls, fname, False, fd.get("score", 0.0))
+            )
+        for fd in cd.get("static_fields", []):
+            cls, _, fname = fd["key"].rpartition(".")
+            cp.static_fields.append(
+                StateFieldSpec(cls, fname, True, fd.get("score", 0.0))
+            )
+        for hd in cd.get("hot_states", []):
+            cp.hot_states.append(
+                HotState(
+                    instance_values=tuple(hd["instance"]),
+                    static_values=tuple(hd["static"]),
+                    share=hd.get("share", 0.0),
+                )
+            )
+        cp.mutable_methods = list(cd.get("mutable_methods", []))
+        plan.classes[name] = cp
+    for key, ld in data.get("lifetime_constants", {}).items():
+        plan.lifetime_constants[key] = LifetimeConstInfo(
+            ref_field_key=key,
+            target_class=ld["target_class"],
+            field_values_by_name=dict(ld.get("fields", {})),
+        )
+    return plan
+
+
+def plan_from_json(text: str) -> MutationPlan:
+    return plan_from_dict(json.loads(text))

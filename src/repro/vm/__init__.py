@@ -1,0 +1,47 @@
+"""JxVM: the runtime that hosts dynamic class hierarchy mutation."""
+
+from repro.vm.adaptive import AdaptiveConfig, AdaptiveSystem, CompileStats
+from repro.vm.heap import HeapStats
+from repro.vm.imt import IMT, IMT_SLOTS, imt_slot_for
+from repro.vm.intrinsics import INTRINSICS, IntrinsicContext
+from repro.vm.jtoc import JTOC
+from repro.vm.linker import LinkError, Linker, RuntimeClass, RuntimeMethod
+from repro.vm.runtime import VM, RunResult
+from repro.vm.tib import TIB, TIBSpaceTracker
+from repro.vm.values import (
+    ArrayBoundsError,
+    ClassCastError,
+    DivisionByZeroError,
+    NullPointerError,
+    VMArray,
+    VMObject,
+    VMRuntimeError,
+)
+
+__all__ = [
+    "IMT",
+    "IMT_SLOTS",
+    "INTRINSICS",
+    "AdaptiveConfig",
+    "AdaptiveSystem",
+    "ArrayBoundsError",
+    "ClassCastError",
+    "CompileStats",
+    "DivisionByZeroError",
+    "HeapStats",
+    "IntrinsicContext",
+    "JTOC",
+    "LinkError",
+    "Linker",
+    "NullPointerError",
+    "RunResult",
+    "RuntimeClass",
+    "RuntimeMethod",
+    "TIB",
+    "TIBSpaceTracker",
+    "VM",
+    "VMArray",
+    "VMObject",
+    "VMRuntimeError",
+    "imt_slot_for",
+]

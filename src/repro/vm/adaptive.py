@@ -1,0 +1,151 @@
+"""The adaptive optimization system.
+
+JxVM's analog of Jikes RVM's AOS (paper §3.2.1): methods start at opt0
+(the bytecode interpreter), accumulate *ticks* (16 per entry, 1 per loop
+backedge), and are synchronously recompiled at opt1 and then opt2 when
+their ticks cross the configured thresholds.
+
+Two paper-relevant behaviors:
+
+* **Mutation happens at opt2** — when the recompiled method is mutable,
+  the mutation manager's Fig. 5 actions run right after installation
+  (the manager is registered as a recompilation listener).
+* **Accelerated hotness detection** (paper Fig. 14) — methods named in
+  ``AdaptiveConfig.accelerated`` are promoted straight to the maximum
+  opt level on their first invocation, modeling "opt1 and opt2 compiled
+  code ... generated immediately after their opt0 compiled code".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.vm.compiled import NEVER
+
+
+@dataclass
+class AdaptiveConfig:
+    """Tunables for the adaptive system."""
+
+    enabled: bool = True
+    #: Ticks before promotion opt0 -> opt1 (16 ticks per invocation).
+    opt1_ticks: int = 512
+    #: Ticks before promotion opt1 -> opt2.
+    opt2_ticks: int = 4096
+    #: Highest optimization level to use (0 disables recompilation).
+    max_opt_level: int = 2
+    #: Qualified method names promoted straight to max level on first call.
+    accelerated: frozenset[str] = frozenset()
+
+
+@dataclass
+class CompileEvent:
+    """One recompilation, for the Fig. 10/11 accounting."""
+
+    qualified_name: str
+    opt_level: int
+    seconds: float
+    code_size_bytes: int
+    num_versions: int  # 1 general + specials generated alongside
+
+
+@dataclass
+class CompileStats:
+    """Aggregate optimizing-compiler metrics for one VM."""
+
+    events: list[CompileEvent] = field(default_factory=list)
+    total_seconds: float = 0.0
+    total_code_bytes: int = 0
+    special_code_bytes: int = 0
+    special_seconds: float = 0.0
+
+    def record(self, event: CompileEvent) -> None:
+        self.events.append(event)
+        self.total_seconds += event.seconds
+        self.total_code_bytes += event.code_size_bytes
+
+    def record_special(self, seconds: float, code_bytes: int) -> None:
+        self.total_seconds += seconds
+        self.special_seconds += seconds
+        self.total_code_bytes += code_bytes
+        self.special_code_bytes += code_bytes
+
+
+class AdaptiveSystem:
+    """Sampling-driven synchronous recompilation controller."""
+
+    def __init__(self, vm: Any, config: AdaptiveConfig) -> None:
+        self.vm = vm
+        self.config = config
+        #: Listeners called as fn(rm, opt_level) after each recompilation;
+        #: the mutation manager registers its Fig. 5 actions here.
+        self.recompile_listeners: list[Callable[[Any, int], None]] = []
+        self._compiling = False
+
+    # ------------------------------------------------------------------
+
+    def prime(self, rm: Any) -> None:
+        """Set a method's initial promotion threshold."""
+        cfg = self.config
+        if not cfg.enabled or cfg.max_opt_level < 1:
+            rm.samples.threshold = NEVER
+        elif rm.info.qualified_name in cfg.accelerated:
+            rm.samples.threshold = 1
+        else:
+            rm.samples.threshold = cfg.opt1_ticks
+
+    def prime_all(self) -> None:
+        for rc in self.vm.classes.values():
+            for rm in rc.own_methods.values():
+                if not rm.info.is_abstract:
+                    self.prime(rm)
+
+    # ------------------------------------------------------------------
+
+    def on_hot(self, rm: Any) -> None:
+        """Promotion check, called when a method's ticks cross its
+        threshold.  Synchronously recompiles and installs."""
+        cfg = self.config
+        if not cfg.enabled or self._compiling:
+            rm.samples.threshold = NEVER
+            return
+        current = rm.compiled.opt_level
+        if current >= cfg.max_opt_level:
+            rm.samples.threshold = NEVER
+            return
+        accelerated = rm.info.qualified_name in cfg.accelerated
+        next_level = cfg.max_opt_level if accelerated else current + 1
+        next_level = min(next_level, cfg.max_opt_level)
+        # Bump the threshold *before* compiling so nested invocations of
+        # this method during compilation cannot re-enter.
+        if next_level >= cfg.max_opt_level:
+            rm.samples.threshold = NEVER
+        else:
+            rm.samples.threshold = cfg.opt2_ticks
+        self.recompile(rm, next_level)
+
+    def recompile(self, rm: Any, opt_level: int) -> None:
+        """Compile ``rm`` at ``opt_level``, install, notify listeners."""
+        vm = self.vm
+        self._compiling = True
+        try:
+            start = time.perf_counter()
+            new_cm = vm.opt_compiler.compile(rm, opt_level)
+            seconds = time.perf_counter() - start
+            rm.compile_history.append((opt_level, seconds))
+            vm.compile_stats.record(
+                CompileEvent(
+                    qualified_name=rm.info.qualified_name,
+                    opt_level=opt_level,
+                    seconds=seconds,
+                    code_size_bytes=new_cm.code_size_bytes,
+                    num_versions=1,
+                )
+            )
+            vm.installer.install_general(rm, new_cm)
+            for listener in self.recompile_listeners:
+                listener(rm, opt_level)
+        finally:
+            self._compiling = False

@@ -1,0 +1,41 @@
+"""Heap accounting.
+
+JxVM does not implement a collector (Python's GC owns object lifetime);
+what the reproduction needs from the memory system is *accounting*:
+per-class allocation counts and modeled byte volumes, used by the
+workload reports and to sanity-check that the SPECjbb2005 port really is
+more allocation-heavy than SPECjbb2000 (paper §7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Modeled object header: TIB pointer + status word.
+OBJECT_HEADER_BYTES = 16
+WORD_BYTES = 8
+
+
+@dataclass
+class HeapStats:
+    """Aggregate allocation statistics."""
+
+    objects_allocated: int = 0
+    arrays_allocated: int = 0
+    bytes_allocated: int = 0
+    per_class: dict[str, int] = field(default_factory=dict)
+
+    def record_object(self, class_name: str, num_fields: int) -> None:
+        self.objects_allocated += 1
+        self.bytes_allocated += OBJECT_HEADER_BYTES + num_fields * WORD_BYTES
+        self.per_class[class_name] = self.per_class.get(class_name, 0) + 1
+
+    def record_array(self, length: int) -> None:
+        self.arrays_allocated += 1
+        self.bytes_allocated += OBJECT_HEADER_BYTES + length * WORD_BYTES
+
+    def top_classes(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` most-allocated classes, descending."""
+        return sorted(
+            self.per_class.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:n]

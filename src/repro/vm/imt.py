@@ -1,0 +1,140 @@
+"""Interface Method Tables (IMTs).
+
+Jikes RVM dispatches ``invokeinterface`` through a fixed-size table hung
+off the TIB; each slot holds either the compiled method directly (one
+interface method hashed to the slot) or a conflict stub that searches the
+colliding methods (paper §3.2.3, citing Alpern et al. 2001).
+
+The paper's modification for **mutable classes**: a slot stores the
+*TIB offset* of the method instead of the compiled-code pointer, so the
+dispatch takes one extra load through ``obj.tib.entries[offset]`` — and
+thereby automatically reaches the specialized code selected by the
+object's current (possibly special) TIB.  One IMT is then shared by the
+class TIB and every special TIB.  Non-mutable classes keep the one-load
+direct scheme.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.compiled import CompiledMethod
+    from repro.vm.values import VMObject
+
+#: Fixed number of IMT slots — a static compilation constant in Jikes.
+IMT_SLOTS = 29
+
+
+def imt_slot_for(method_key: str) -> int:
+    """Deterministic hash of an interface method's key to an IMT slot."""
+    h = 0
+    for ch in method_key:
+        h = (31 * h + ord(ch)) & 0x7FFFFFFF
+    return h % IMT_SLOTS
+
+
+class DirectEntry:
+    """Non-mutable-class slot: points straight at the compiled method."""
+
+    __slots__ = ("compiled",)
+
+    def __init__(self, compiled: "CompiledMethod") -> None:
+        self.compiled = compiled
+
+    def resolve(self, obj: "VMObject", method_key: str) -> "CompiledMethod":
+        return self.compiled
+
+
+class OffsetEntry:
+    """Mutable-class slot: stores the TIB offset; dispatch takes the extra
+    load through the receiver's current TIB (paper §3.2.3)."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: int) -> None:
+        self.offset = offset
+
+    def resolve(self, obj: "VMObject", method_key: str) -> "CompiledMethod":
+        return obj.tib.entries[self.offset]
+
+
+class ConflictStub:
+    """Multiple interface methods hashed to one slot: the stub looks the
+    requested method up by key, then resolves like the single-method
+    entries do."""
+
+    __slots__ = ("targets",)
+
+    def __init__(self) -> None:
+        #: method key -> DirectEntry | OffsetEntry
+        self.targets: dict[str, Any] = {}
+
+    def add(self, method_key: str, entry: Any) -> None:
+        self.targets[method_key] = entry
+
+    def resolve(self, obj: "VMObject", method_key: str) -> "CompiledMethod":
+        return self.targets[method_key].resolve(obj, method_key)
+
+
+class IMT:
+    """One class's interface method table."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: list[Any] = [None] * IMT_SLOTS
+
+    def install(self, method_key: str, entry: Any) -> int:
+        """Install ``entry`` for ``method_key``; returns the slot index."""
+        idx = imt_slot_for(method_key)
+        current = self.slots[idx]
+        if current is None:
+            self.slots[idx] = entry
+        elif isinstance(current, ConflictStub):
+            current.add(method_key, entry)
+        else:
+            # Promote to a conflict stub.  The previous single entry's key
+            # is unknown here, so installation happens via install_all.
+            raise RuntimeError(
+                "IMT.install collision; use install_all for conflict handling"
+            )
+        return idx
+
+    def install_all(self, entries: dict[str, Any]) -> dict[str, int]:
+        """Install all interface methods at once, building conflict stubs
+        where several keys hash to the same slot.  Returns key -> slot."""
+        by_slot: dict[int, list[str]] = {}
+        for key in entries:
+            by_slot.setdefault(imt_slot_for(key), []).append(key)
+        key_to_slot: dict[str, int] = {}
+        for slot, keys in by_slot.items():
+            if len(keys) == 1:
+                self.slots[slot] = entries[keys[0]]
+            else:
+                stub = ConflictStub()
+                for key in sorted(keys):
+                    stub.add(key, entries[key])
+                self.slots[slot] = stub
+            for key in keys:
+                key_to_slot[key] = slot
+        return key_to_slot
+
+    def dispatch(
+        self, obj: "VMObject", slot: int, method_key: str
+    ) -> "CompiledMethod":
+        entry = self.slots[slot]
+        if entry is None:
+            raise RuntimeError(
+                f"empty IMT slot {slot} for interface method {method_key!r}"
+            )
+        return entry.resolve(obj, method_key)
+
+    def patch_direct(self, method_key: str, compiled: "CompiledMethod") -> None:
+        """Retarget a DirectEntry after recompilation (non-mutable classes)."""
+        slot = imt_slot_for(method_key)
+        entry = self.slots[slot]
+        if isinstance(entry, ConflictStub):
+            entry = entry.targets.get(method_key)
+        if isinstance(entry, DirectEntry):
+            entry.compiled = compiled

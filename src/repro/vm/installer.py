@@ -1,0 +1,67 @@
+"""Compiled-code installation.
+
+When the adaptive system produces a new *general* compiled method, every
+table that referenced the old one must be patched (paper §3.2.1: "When a
+new compiled method is generated for a method, the existing compiled
+method is replaced and invalidated"):
+
+* the JTOC cell, for static methods;
+* the declaring class's TIB and — per paper Fig. 5 — the subclasses'
+  TIBs when the method is not private and not overridden (our vtable
+  sharing makes that exactly the classes whose vtable slot still holds
+  this RuntimeMethod);
+* the class's special TIBs (they receive the *general* code here; the
+  mutation manager re-applies special code afterwards per Fig. 5);
+* direct IMT entries (non-mutable classes only; mutable classes use
+  offset entries that track the TIB automatically).
+
+Constructors and private instance methods are invoked through the
+RuntimeMethod record (the ``invokespecial`` path), so updating
+``rm.compiled`` suffices for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class CodeInstaller:
+    """Patches dispatch tables when compiled methods are replaced."""
+
+    def __init__(self, vm: Any) -> None:
+        self.vm = vm
+
+    def install_general(self, rm: Any, new_cm: Any) -> None:
+        """Make ``new_cm`` the method's one valid general compiled method."""
+        rm.compiled = new_cm
+        rm.general = new_cm
+        info = rm.info
+        if info.is_static:
+            if rm.jtoc_cell is not None:
+                rm.jtoc_cell.compiled = new_cm
+            return
+        offset = rm.vtable_offset
+        if offset < 0:
+            return  # constructor / private: reached via rm.compiled
+        key = info.key
+        for rc in self.vm.classes.values():
+            if rc.is_interface or offset >= len(rc.vtable_rms):
+                continue
+            if rc.vtable_rms[offset] is not rm:
+                continue
+            rc.class_tib.entries[offset] = new_cm
+            for tib in rc.special_tibs.values():
+                tib.entries[offset] = new_cm
+            if key in rc.imt_slot_of:
+                rc.imt.patch_direct(key, new_cm)
+
+    def install_special_in_tib(self, rc: Any, rm: Any, state_key: Any,
+                               special_cm: Any) -> None:
+        """Point one special TIB's entry for ``rm`` at specialized code."""
+        tib = rc.special_tibs[state_key]
+        tib.entries[rm.vtable_offset] = special_cm
+
+    def reset_special_tib_entry(self, rc: Any, rm: Any, state_key: Any) -> None:
+        """Point one special TIB's entry back at the general code."""
+        tib = rc.special_tibs[state_key]
+        tib.entries[rm.vtable_offset] = rm.compiled

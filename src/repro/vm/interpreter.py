@@ -1,0 +1,373 @@
+"""The opt0 execution engine: a direct bytecode interpreter.
+
+This is JxVM's analog of running a method's baseline-compiled code in
+Jikes RVM: no optimization, straight-line semantics, plus the sampling
+that drives the adaptive system (method-entry ticks are credited by the
+compiled-method wrapper; *backedge* ticks are credited here so that
+loop-dominated methods get hot without being re-invoked — the yieldpoint
+analog).
+
+State-field write hooks: PUTFIELD/PUTSTATIC instructions that the
+mutation manager marked (``instr.state_hook``) invoke the distributed
+dynamic class mutation algorithm's field-assignment actions (paper
+Fig. 4) immediately after the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bytecode.opcodes import Op
+from repro.vm.values import (
+    ArrayBoundsError,
+    ClassCastError,
+    NullPointerError,
+    VMArray,
+    VMRuntimeError,
+    jx_rem,
+    jx_str,
+    jx_truncate_div,
+)
+
+_LOAD = Op.LOAD
+_STORE = Op.STORE
+_CONST = Op.CONST
+_GETFIELD = Op.GETFIELD
+_PUTFIELD = Op.PUTFIELD
+_GETSTATIC = Op.GETSTATIC
+_PUTSTATIC = Op.PUTSTATIC
+_ADD = Op.ADD
+_SUB = Op.SUB
+_MUL = Op.MUL
+_IDIV = Op.IDIV
+_FDIV = Op.FDIV
+_IREM = Op.IREM
+_NEG = Op.NEG
+_I2D = Op.I2D
+_D2I = Op.D2I
+_SHL = Op.SHL
+_SHR = Op.SHR
+_BAND = Op.BAND
+_BOR = Op.BOR
+_BXOR = Op.BXOR
+_CMP_LT = Op.CMP_LT
+_CMP_LE = Op.CMP_LE
+_CMP_GT = Op.CMP_GT
+_CMP_GE = Op.CMP_GE
+_CMP_EQ = Op.CMP_EQ
+_CMP_NE = Op.CMP_NE
+_NOT = Op.NOT
+_CONCAT = Op.CONCAT
+_JUMP = Op.JUMP
+_JUMP_IF_TRUE = Op.JUMP_IF_TRUE
+_JUMP_IF_FALSE = Op.JUMP_IF_FALSE
+_RETURN = Op.RETURN
+_RETURN_VOID = Op.RETURN_VOID
+_NEW = Op.NEW
+_INVOKEVIRTUAL = Op.INVOKEVIRTUAL
+_INVOKESPECIAL = Op.INVOKESPECIAL
+_INVOKESTATIC = Op.INVOKESTATIC
+_INVOKEINTERFACE = Op.INVOKEINTERFACE
+_INSTANCEOF = Op.INSTANCEOF
+_CHECKCAST = Op.CHECKCAST
+_NEWARRAY = Op.NEWARRAY
+_ALOAD = Op.ALOAD
+_ASTORE = Op.ASTORE
+_ARRAYLEN = Op.ARRAYLEN
+_INTRINSIC = Op.INTRINSIC
+_POP = Op.POP
+_DUP = Op.DUP
+_SWAP = Op.SWAP
+_NOP = Op.NOP
+
+
+class JxStackTrace(VMRuntimeError):
+    """A VM runtime error annotated with the Jx call stack."""
+
+    def __init__(self, cause: VMRuntimeError, frames: list[str]) -> None:
+        self.cause = cause
+        self.frames = frames
+        trace = "\n  at ".join(frames)
+        super().__init__(f"{cause}\n  at {trace}")
+
+
+def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
+    """Execute ``rm``'s bytecode with ``args`` as the initial locals."""
+    info = rm.info
+    code = info.code
+    locals_: list[Any] = args + [None] * (info.max_locals - len(args))
+    stack: list[Any] = []
+    samples = rm.samples
+    adaptive = vm.adaptive
+    pc = 0
+    try:
+        while True:
+            instr = code[pc]
+            op = instr.op
+            pc += 1
+            if op is _LOAD:
+                stack.append(locals_[instr.arg])
+            elif op is _CONST:
+                stack.append(instr.arg)
+            elif op is _STORE:
+                locals_[instr.arg] = stack.pop()
+            elif op is _GETFIELD:
+                obj = stack.pop()
+                if obj is None:
+                    raise NullPointerError(
+                        f"null receiver reading field {instr.arg[1]!r}"
+                    )
+                stack.append(obj.fields[instr.resolved])
+            elif op is _PUTFIELD:
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is None:
+                    raise NullPointerError(
+                        f"null receiver writing field {instr.arg[1]!r}"
+                    )
+                obj.fields[instr.resolved] = value
+                hook = instr.state_hook
+                if hook is not None:
+                    hook(vm, obj)
+            elif op is _JUMP:
+                target = instr.arg
+                if target < pc:
+                    samples.ticks += 1
+                    if samples.ticks >= samples.threshold:
+                        adaptive.on_hot(rm)
+                pc = target
+            elif op is _JUMP_IF_FALSE:
+                if not stack.pop():
+                    target = instr.arg
+                    if target < pc:
+                        samples.ticks += 1
+                        if samples.ticks >= samples.threshold:
+                            adaptive.on_hot(rm)
+                    pc = target
+            elif op is _JUMP_IF_TRUE:
+                if stack.pop():
+                    target = instr.arg
+                    if target < pc:
+                        samples.ticks += 1
+                        if samples.ticks >= samples.threshold:
+                            adaptive.on_hot(rm)
+                    pc = target
+            elif op is _ADD:
+                b = stack.pop()
+                stack[-1] = stack[-1] + b
+            elif op is _SUB:
+                b = stack.pop()
+                stack[-1] = stack[-1] - b
+            elif op is _MUL:
+                b = stack.pop()
+                stack[-1] = stack[-1] * b
+            elif op is _CMP_LT:
+                b = stack.pop()
+                stack[-1] = stack[-1] < b
+            elif op is _CMP_LE:
+                b = stack.pop()
+                stack[-1] = stack[-1] <= b
+            elif op is _CMP_GT:
+                b = stack.pop()
+                stack[-1] = stack[-1] > b
+            elif op is _CMP_GE:
+                b = stack.pop()
+                stack[-1] = stack[-1] >= b
+            elif op is _CMP_EQ:
+                b = stack.pop()
+                a = stack[-1]
+                stack[-1] = (a is b) if _is_ref(a) or _is_ref(b) else (a == b)
+            elif op is _CMP_NE:
+                b = stack.pop()
+                a = stack[-1]
+                stack[-1] = (
+                    (a is not b) if _is_ref(a) or _is_ref(b) else (a != b)
+                )
+            elif op is _INVOKEVIRTUAL:
+                argc = instr.arg[2]
+                callargs = stack[-argc:]
+                del stack[-argc:]
+                receiver = callargs[0]
+                if receiver is None:
+                    raise NullPointerError(
+                        f"null receiver calling {instr.arg[1]!r}"
+                    )
+                offset, returns = instr.resolved
+                result = receiver.tib.entries[offset].invoke(vm, callargs)
+                if returns:
+                    stack.append(result)
+            elif op is _INVOKESTATIC:
+                argc = instr.arg[2]
+                callargs = stack[-argc:] if argc else []
+                if argc:
+                    del stack[-argc:]
+                cell, returns = instr.resolved
+                result = cell.compiled.invoke(vm, callargs)
+                if returns:
+                    stack.append(result)
+            elif op is _INVOKESPECIAL:
+                argc = instr.arg[2]
+                callargs = stack[-argc:]
+                del stack[-argc:]
+                if callargs[0] is None:
+                    raise NullPointerError(
+                        f"null receiver calling {instr.arg[1]!r}"
+                    )
+                target_rm, returns = instr.resolved
+                result = target_rm.compiled.invoke(vm, callargs)
+                if returns:
+                    stack.append(result)
+            elif op is _INVOKEINTERFACE:
+                argc = instr.arg[2]
+                callargs = stack[-argc:]
+                del stack[-argc:]
+                receiver = callargs[0]
+                if receiver is None:
+                    raise NullPointerError(
+                        f"null receiver calling {instr.arg[1]!r}"
+                    )
+                slot, key, returns = instr.resolved
+                compiled = receiver.tib.imt.dispatch(receiver, slot, key)
+                result = compiled.invoke(vm, callargs)
+                if returns:
+                    stack.append(result)
+            elif op is _GETSTATIC:
+                stack.append(vm.jtoc.get(instr.resolved))
+            elif op is _PUTSTATIC:
+                vm.jtoc.set(instr.resolved, stack.pop())
+                hook = instr.state_hook
+                if hook is not None:
+                    hook(vm, None)
+            elif op is _ALOAD:
+                idx = stack.pop()
+                arr = stack.pop()
+                if arr is None:
+                    raise NullPointerError("null array in load")
+                if not 0 <= idx < len(arr.data):
+                    raise ArrayBoundsError(
+                        f"index {idx} out of range [0, {len(arr.data)})"
+                    )
+                stack.append(arr.data[idx])
+            elif op is _ASTORE:
+                value = stack.pop()
+                idx = stack.pop()
+                arr = stack.pop()
+                if arr is None:
+                    raise NullPointerError("null array in store")
+                if not 0 <= idx < len(arr.data):
+                    raise ArrayBoundsError(
+                        f"index {idx} out of range [0, {len(arr.data)})"
+                    )
+                arr.data[idx] = value
+            elif op is _ARRAYLEN:
+                arr = stack.pop()
+                if arr is None:
+                    raise NullPointerError("null array in length")
+                stack.append(len(arr.data))
+            elif op is _NEWARRAY:
+                length = stack.pop()
+                arr = VMArray(instr.arg, length, instr.resolved)
+                vm.heap.record_array(length)
+                stack.append(arr)
+            elif op is _NEW:
+                stack.append(instr.resolved.allocate(vm))
+            elif op is _CONCAT:
+                b = stack.pop()
+                stack[-1] = jx_str(stack[-1]) + jx_str(b)
+            elif op is _INTRINSIC:
+                intr = instr.resolved
+                n = intr.nargs
+                if n:
+                    callargs = stack[-n:]
+                    del stack[-n:]
+                    result = intr.fn(vm.intrinsic_ctx, *callargs)
+                else:
+                    result = intr.fn(vm.intrinsic_ctx)
+                if intr.returns:
+                    stack.append(result)
+            elif op is _IDIV:
+                b = stack.pop()
+                stack[-1] = jx_truncate_div(stack[-1], b)
+            elif op is _FDIV:
+                b = stack.pop()
+                if b == 0:
+                    stack[-1] = float("nan") if stack[-1] == 0 else (
+                        float("inf") if stack[-1] > 0 else float("-inf")
+                    )
+                else:
+                    stack[-1] = stack[-1] / b
+            elif op is _IREM:
+                b = stack.pop()
+                stack[-1] = jx_rem(stack[-1], b)
+            elif op is _NEG:
+                stack[-1] = -stack[-1]
+            elif op is _NOT:
+                stack[-1] = not stack[-1]
+            elif op is _I2D:
+                stack[-1] = float(stack[-1])
+            elif op is _D2I:
+                stack[-1] = int(stack[-1])
+            elif op is _SHL:
+                b = stack.pop()
+                stack[-1] = stack[-1] << b
+            elif op is _SHR:
+                b = stack.pop()
+                stack[-1] = stack[-1] >> b
+            elif op is _BAND:
+                b = stack.pop()
+                stack[-1] = stack[-1] & b
+            elif op is _BOR:
+                b = stack.pop()
+                stack[-1] = stack[-1] | b
+            elif op is _BXOR:
+                b = stack.pop()
+                stack[-1] = stack[-1] ^ b
+            elif op is _INSTANCEOF:
+                obj = stack.pop()
+                stack.append(
+                    obj is not None
+                    and instr.resolved.name in obj.tib.type_info.all_supertypes
+                )
+            elif op is _CHECKCAST:
+                obj = stack[-1]
+                if (
+                    obj is not None
+                    and instr.resolved.name
+                    not in obj.tib.type_info.all_supertypes
+                ):
+                    raise ClassCastError(
+                        f"cannot cast {obj.tib.type_info.name} to "
+                        f"{instr.resolved.name}"
+                    )
+            elif op is _RETURN:
+                return stack.pop()
+            elif op is _RETURN_VOID:
+                return None
+            elif op is _POP:
+                stack.pop()
+            elif op is _DUP:
+                stack.append(stack[-1])
+            elif op is _SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op is _NOP:
+                pass
+            else:  # pragma: no cover
+                raise VMRuntimeError(f"unhandled opcode {op!r}")
+    except JxStackTrace as trace:
+        trace.frames.append(_frame_desc(rm, code, pc))
+        raise
+    except VMRuntimeError as exc:
+        raise JxStackTrace(exc, [_frame_desc(rm, code, pc)]) from exc
+
+
+def _frame_desc(rm: Any, code: list, pc: int) -> str:
+    index = max(0, min(pc - 1, len(code) - 1))
+    line = code[index].line if code else 0
+    return f"{rm.qualified_name} (line {line})"
+
+
+def _is_ref(value: Any) -> bool:
+    """True for reference values whose ``==`` must mean identity."""
+    return value is not None and not isinstance(
+        value, (int, float, str, bool)
+    )

@@ -1,0 +1,77 @@
+"""The JTOC — Jikes Table of Contents.
+
+Jikes RVM keeps all static state reachable from one global table: static
+field slots and pointers to the compiled code of static methods (paper
+§3.2.1).  The distributed mutation algorithm patches static-method
+compiled-code pointers *here* (paper Fig. 4/5), so static method calls in
+JxVM likewise indirect through a :class:`JTOCMethodCell`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.compiled import CompiledMethod
+
+
+class JTOCMethodCell:
+    """One static method's compiled-code pointer in the JTOC."""
+
+    __slots__ = ("compiled", "qualified_name")
+
+    def __init__(self, qualified_name: str, compiled: "CompiledMethod") -> None:
+        self.qualified_name = qualified_name
+        self.compiled = compiled
+
+    def __repr__(self) -> str:
+        return f"<JTOC cell {self.qualified_name}>"
+
+
+class JTOC:
+    """Static field storage plus static-method code pointers."""
+
+    def __init__(self) -> None:
+        self.fields: list[Any] = []
+        self._field_index: dict[tuple[str, str], int] = {}
+        self._method_cells: dict[tuple[str, str], JTOCMethodCell] = {}
+
+    # -- static fields ------------------------------------------------------
+
+    def add_field(self, class_name: str, field_name: str, initial: Any) -> int:
+        """Reserve a slot for a static field; returns the slot index."""
+        key = (class_name, field_name)
+        if key in self._field_index:
+            raise ValueError(f"duplicate static field {key}")
+        index = len(self.fields)
+        self.fields.append(initial)
+        self._field_index[key] = index
+        return index
+
+    def field_slot(self, class_name: str, field_name: str) -> int:
+        return self._field_index[(class_name, field_name)]
+
+    def get(self, slot: int) -> Any:
+        return self.fields[slot]
+
+    def set(self, slot: int, value: Any) -> None:
+        self.fields[slot] = value
+
+    # -- static methods ------------------------------------------------------
+
+    def add_method(
+        self, class_name: str, key: str, compiled: "CompiledMethod"
+    ) -> JTOCMethodCell:
+        cell = JTOCMethodCell(f"{class_name}.{key}", compiled)
+        self._method_cells[(class_name, key)] = cell
+        return cell
+
+    def method_cell(self, class_name: str, key: str) -> JTOCMethodCell:
+        return self._method_cells[(class_name, key)]
+
+    def method_cells(self) -> list[JTOCMethodCell]:
+        return list(self._method_cells.values())
+
+    @property
+    def num_field_slots(self) -> int:
+        return len(self.fields)

@@ -1,0 +1,184 @@
+"""The JxVM facade.
+
+One :class:`VM` owns a linked program, the adaptive optimization system,
+the optimizing compiler, the JTOC/heap/TIB structures, and — when a
+:class:`~repro.mutation.plan.MutationPlan` is supplied — the dynamic
+class mutation manager.  It is the single entry point users need::
+
+    from repro import compile_source, VM
+
+    unit = compile_source(source)
+    vm = VM(unit)
+    result = vm.run()
+    print(result.output)
+
+A ProgramUnit carries link state in its instructions, so each VM needs a
+freshly compiled unit.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bytecode.classfile import ProgramUnit
+from repro.vm.adaptive import AdaptiveConfig, AdaptiveSystem, CompileStats
+from repro.vm.heap import HeapStats
+from repro.vm.installer import CodeInstaller
+from repro.vm.intrinsics import IntrinsicContext
+from repro.vm.linker import Linker, RuntimeMethod, static_initializers
+from repro.vm.values import VMRuntimeError
+
+#: Jx recursion maps onto Python recursion; give deep workloads room.
+_MIN_RECURSION_LIMIT = 20000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one entry-point execution."""
+
+    value: Any
+    output: str
+    wall_seconds: float
+    compile_seconds: float
+
+
+@dataclass
+class VMStats:
+    """Point-in-time snapshot of a VM's accounting."""
+
+    heap: HeapStats = field(default_factory=HeapStats)
+    tib_swaps: int = 0
+    special_tibs_created: int = 0
+
+
+class VM:
+    """A JxVM instance executing one linked program."""
+
+    def __init__(
+        self,
+        program: ProgramUnit,
+        mutation_plan: Any = None,
+        adaptive_config: AdaptiveConfig | None = None,
+        seed: int = 42,
+    ) -> None:
+        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        self.unit = program
+        self.heap = HeapStats()
+        self.intrinsic_ctx = IntrinsicContext(seed)
+        self.linker = Linker(program)
+        self.linker.link()
+        self.classes = self.linker.classes
+        self.jtoc = self.linker.jtoc
+        self.tib_space = self.linker.tib_space
+        self.installer = CodeInstaller(self)
+        self.compile_stats = CompileStats()
+        self.adaptive = AdaptiveSystem(
+            self, adaptive_config or AdaptiveConfig()
+        )
+        self._opt_compiler: Any = None
+        self.mutation_manager: Any = None
+        self.mutation_stats = VMStats()
+        if mutation_plan is not None:
+            from repro.mutation.manager import MutationManager
+
+            self.mutation_manager = MutationManager(self, mutation_plan)
+            self.mutation_manager.attach()
+        self.adaptive.prime_all()
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def opt_compiler(self) -> Any:
+        """The optimizing compiler, created on first use."""
+        if self._opt_compiler is None:
+            from repro.opt.pipeline import OptCompiler
+
+            self._opt_compiler = OptCompiler(self)
+        return self._opt_compiler
+
+    @property
+    def output(self) -> str:
+        return self.intrinsic_ctx.output()
+
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Run every <clinit> once, in deterministic linked-class order."""
+        if self._initialized:
+            return
+        self._initialized = True
+        for rm in static_initializers(self.classes):
+            rm.compiled.invoke(self, [])
+
+    def lookup(self, class_name: str, method_key: str) -> RuntimeMethod:
+        rc = self.classes.get(class_name)
+        if rc is None:
+            raise VMRuntimeError(f"unknown class {class_name!r}")
+        rm = rc.own_methods.get(method_key)
+        cur = rc.super_rc
+        while rm is None and cur is not None:
+            rm = cur.own_methods.get(method_key)
+            cur = cur.super_rc
+        if rm is None:
+            raise VMRuntimeError(
+                f"unknown method {class_name}.{method_key}"
+            )
+        return rm
+
+    def call_static(self, class_name: str, method_key: str,
+                    args: list[Any] | None = None) -> Any:
+        """Invoke a static method through its JTOC cell."""
+        self.initialize()
+        rm = self.lookup(class_name, method_key)
+        if not rm.info.is_static:
+            raise VMRuntimeError(
+                f"{rm.qualified_name} is not static"
+            )
+        return rm.jtoc_cell.compiled.invoke(self, list(args or []))
+
+    def run(self) -> RunResult:
+        """Initialize and execute the program entry point."""
+        start_compile = self.compile_stats.total_seconds
+        start = time.perf_counter()
+        value = self.call_static(
+            self.unit.entry_class, self.unit.entry_method, []
+        )
+        wall = time.perf_counter() - start
+        return RunResult(
+            value=value,
+            output=self.output,
+            wall_seconds=wall,
+            compile_seconds=self.compile_stats.total_seconds - start_compile,
+        )
+
+    # ------------------------------------------------------------------
+
+    def all_runtime_methods(self) -> list[RuntimeMethod]:
+        out = []
+        for rc in self.classes.values():
+            out.extend(
+                rm
+                for rm in rc.own_methods.values()
+                if not rm.info.is_abstract
+            )
+        return out
+
+    def describe_compiled_state(self) -> str:
+        """Debugging report: every method's tier and special versions."""
+        lines = []
+        for rm in sorted(
+            self.all_runtime_methods(), key=lambda r: r.qualified_name
+        ):
+            specials = (
+                f" +{len(rm.specials)} special" if rm.specials else ""
+            )
+            lines.append(
+                f"{rm.qualified_name}: opt{rm.compiled.opt_level}"
+                f" ({rm.samples.invocations} calls){specials}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Runtime value representations for JxVM.
+
+Jx primitives map onto Python values (``int``, ``float``, ``bool``,
+``str``); references are :class:`VMObject` and :class:`VMArray`.  ``null``
+is Python ``None``.
+
+Every :class:`VMObject` carries its own ``tib`` pointer — the load-bearing
+detail of the whole reproduction: dynamic class mutation works by swapping
+this per-object pointer between the class TIB and special (per-hot-state)
+TIBs (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class VMObject:
+    """A heap object: a field-slot array plus a TIB pointer."""
+
+    __slots__ = ("tib", "fields")
+
+    def __init__(self, tib: Any, num_fields: int) -> None:
+        self.tib = tib
+        self.fields: list[Any] = [None] * num_fields
+
+    @property
+    def jx_class(self):
+        """The :class:`~repro.vm.linker.RuntimeClass` this object is an
+        instance of — read through the TIB's type-info entry, *never*
+        through TIB identity (paper §3.2.3: special TIBs share the class's
+        type information)."""
+        return self.tib.type_info
+
+    def __repr__(self) -> str:
+        return f"<{self.tib.type_info.name} object>"
+
+
+class VMArray:
+    """A Jx array: fixed length, element-type tagged."""
+
+    __slots__ = ("elem_type", "data")
+
+    def __init__(self, elem_type: Any, length: int, fill: Any = None) -> None:
+        if length < 0:
+            raise VMRuntimeError(f"negative array size {length}")
+        self.elem_type = elem_type
+        self.data: list[Any] = [fill] * length
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"<{self.elem_type}[{len(self.data)}]>"
+
+
+class VMRuntimeError(Exception):
+    """Raised for Jx runtime failures (null deref, bad cast, bounds...)."""
+
+
+class NullPointerError(VMRuntimeError):
+    pass
+
+
+class ArrayBoundsError(VMRuntimeError):
+    pass
+
+
+class ClassCastError(VMRuntimeError):
+    pass
+
+
+class DivisionByZeroError(VMRuntimeError):
+    pass
+
+
+def jx_truncate_div(a: int, b: int) -> int:
+    """Java-semantics integer division (truncate toward zero)."""
+    if b == 0:
+        raise DivisionByZeroError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def jx_rem(a: int, b: int) -> int:
+    """Java-semantics integer remainder (sign follows the dividend)."""
+    if b == 0:
+        raise DivisionByZeroError("integer remainder by zero")
+    return a - jx_truncate_div(a, b) * b
+
+
+def jx_str(value: Any) -> str:
+    """Java-ish string coercion used by the CONCAT instruction."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        # Match Java's Double.toString for whole numbers ("1.0" not "1").
+        return repr(value)
+    return str(value)

@@ -1,0 +1,17 @@
+"""The paper's seven benchmark programs, written in Jx."""
+
+from repro.workloads.registry import (
+    PAPER_ORDER,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    paper_workloads,
+)
+
+__all__ = [
+    "PAPER_ORDER",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "paper_workloads",
+]

@@ -1,0 +1,115 @@
+"""CSVToXML — a CSV-to-XML converter (paper §6 uses csv2xml v1.1).
+
+The converter's per-character scanner dispatches on the parser
+configuration (``delimiter`` code, ``quoteMode``, ``trimMode``) — one
+distinct hot state (comma + quoting + no trim), matching the paper's
+observation that these applications "have one or two distinct mutable
+classes that account for most of the computation time".
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+
+def source(scale: float = 1.0) -> str:
+    rows = max(4, int(420 * scale))
+    passes = max(2, int(18 * scale))
+    return f"""
+class CsvParser {{
+    private int delimiter;     // character code of the field separator
+    private boolean quoteMode; // honor double-quoted fields
+    private int trimMode;      // 0=no trim, 1=left, 2=both
+    int fieldsOut;
+    CsvParser(int delim, boolean quotes, int trim) {{
+        delimiter = delim;
+        quoteMode = quotes;
+        trimMode = trim;
+        fieldsOut = 0;
+    }}
+    // Parse one line into fields appended as XML <f> elements.
+    public void parseLine(string line, StringBuilder out) {{
+        int n = Sys.len(line);
+        int start = 0;
+        boolean inQuotes = false;
+        for (int i = 0; i < n; i++) {{
+            int c = Sys.ordAt(line, i);
+            if (quoteMode && c == 34) {{
+                inQuotes = !inQuotes;
+            }} else if (c == delimiter && !inQuotes) {{
+                emitField(line, start, i, out);
+                start = i + 1;
+            }}
+        }}
+        emitField(line, start, n, out);
+    }}
+    private void emitField(string line, int start, int end, StringBuilder out) {{
+        string field = Sys.substr(line, start, end);
+        if (trimMode == 1) {{
+            field = Sys.trim(field);
+        }} else if (trimMode == 2) {{
+            field = Sys.trim(Sys.replace(field, "\\t", " "));
+        }}
+        out.append("<f>");
+        out.append(field);
+        out.append("</f>");
+        fieldsOut++;
+    }}
+}}
+
+class RowGenerator {{
+    int counter;
+    RowGenerator() {{ counter = 0; }}
+    public string next(int cols) {{
+        StringBuilder sb = new StringBuilder();
+        for (int c = 0; c < cols; c++) {{
+            if (c > 0) {{ sb.append(","); }}
+            if (c % 3 == 0) {{
+                sb.append("item" + counter);
+            }} else if (c % 3 == 1) {{
+                sb.append("\\"q" + (counter * 7 % 100) + "\\"");
+            }} else {{
+                sb.append("" + (counter % 997));
+            }}
+            counter++;
+        }}
+        return sb.toString();
+    }}
+}}
+
+class Main {{
+    static void main() {{
+        CsvParser parser = new CsvParser(44, true, 0);
+        RowGenerator gen = new RowGenerator();
+        string[] lines = new string[{rows}];
+        for (int r = 0; r < {rows}; r++) {{
+            lines[r] = gen.next(12);
+        }}
+        int totalChars = 0;
+        for (int p = 0; p < {passes}; p++) {{
+            StringBuilder out = new StringBuilder();
+            out.append("<csv>");
+            for (int r = 0; r < {rows}; r++) {{
+                out.append("<row>");
+                parser.parseLine(lines[r], out);
+                out.append("</row>");
+            }}
+            out.append("</csv>");
+            totalChars += out.length();
+        }}
+        Sys.print("fields=" + parser.fieldsOut + " chars=" + totalChars);
+    }}
+}}
+"""
+
+
+register(
+    WorkloadSpec(
+        name="csvtoxml",
+        description="CSV to XML conversion",
+        source=source,
+        profile_scale=0.1,
+        bench_scale=1.0,
+        expected_mutable=("CsvParser",),
+    )
+)

@@ -1,0 +1,143 @@
+"""Java2XHTML — a Java-source-to-XHTML colorizer (paper §6 uses
+Java2XHTML v2.0).
+
+The scanner classifies each character and emits span markup according
+to an ``Options`` object (``styleMode``, ``showLineNumbers``,
+``tabSize``) — one distinct hot state, exercised per character of the
+input, so specializing the classifier against the options pays a small
+single-digit speedup as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+_JAVA_SNIPPET = (
+    "public class Example {\\n"
+    "    // compute the answer\\n"
+    "    static int answer(int x) {\\n"
+    "        int total = 0;\\n"
+    "        for (int i = 0; i < x; i++) { total += i * 42; }\\n"
+    "        return total; /* done */\\n"
+    "    }\\n"
+    "}\\n"
+)
+
+
+def source(scale: float = 1.0) -> str:
+    repeats = max(1, int(2800 * scale))
+    return f"""
+class Highlighter {{
+    private int styleMode;          // 0=plain 1=css-classes 2=inline-styles
+    private boolean showLineNumbers;
+    private int tabSize;
+    int tokens;
+    Highlighter(int mode, boolean lineNumbers, int tabs) {{
+        styleMode = mode;
+        showLineNumbers = lineNumbers;
+        tabSize = tabs;
+        tokens = 0;
+    }}
+    private void openSpan(StringBuilder out, string cls) {{
+        if (styleMode == 1) {{
+            out.append("<span class=\\"" + cls + "\\">");
+        }} else if (styleMode == 2) {{
+            out.append("<span style=\\"color:#336\\">");
+        }}
+    }}
+    private void closeSpan(StringBuilder out) {{
+        if (styleMode == 1 || styleMode == 2) {{
+            out.append("</span>");
+        }}
+    }}
+    public int highlight(string src, StringBuilder out) {{
+        int n = Sys.len(src);
+        int line = 1;
+        if (showLineNumbers) {{
+            out.append("<ln>" + line + "</ln>");
+        }}
+        int i = 0;
+        while (i < n) {{
+            int c = Sys.ordAt(src, i);
+            if (c == 10) {{
+                line++;
+                out.append("<br/>");
+                if (showLineNumbers) {{
+                    out.append("<ln>" + line + "</ln>");
+                }}
+                i++;
+            }} else if (c == 9) {{
+                out.append(Sys.repeat(" ", tabSize));
+                i++;
+            }} else if (c == 47 && i + 1 < n && Sys.ordAt(src, i + 1) == 47) {{
+                int end = i;
+                while (end < n && Sys.ordAt(src, end) != 10) {{ end++; }}
+                openSpan(out, "comment");
+                out.append(Sys.substr(src, i, end));
+                closeSpan(out);
+                tokens++;
+                i = end;
+            }} else if (isDigit(c)) {{
+                int end = i;
+                while (end < n && isDigit(Sys.ordAt(src, end))) {{ end++; }}
+                openSpan(out, "number");
+                out.append(Sys.substr(src, i, end));
+                closeSpan(out);
+                tokens++;
+                i = end;
+            }} else if (isAlpha(c)) {{
+                int end = i;
+                while (end < n && isAlpha(Sys.ordAt(src, end))) {{ end++; }}
+                string word = Sys.substr(src, i, end);
+                if (isKeyword(word)) {{
+                    openSpan(out, "keyword");
+                    out.append(word);
+                    closeSpan(out);
+                }} else {{
+                    out.append(word);
+                }}
+                tokens++;
+                i = end;
+            }} else {{
+                out.append(Sys.charAt(src, i));
+                i++;
+            }}
+        }}
+        return line;
+    }}
+    private boolean isDigit(int c) {{ return c >= 48 && c <= 57; }}
+    private boolean isAlpha(int c) {{
+        return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+    }}
+    private boolean isKeyword(string w) {{
+        return w == "public" || w == "class" || w == "static"
+            || w == "int" || w == "for" || w == "return";
+    }}
+}}
+
+class Main {{
+    static void main() {{
+        string src = "{_JAVA_SNIPPET}";
+        Highlighter hl = new Highlighter(1, true, 4);
+        int chars = 0;
+        for (int r = 0; r < {repeats}; r++) {{
+            StringBuilder out = new StringBuilder();
+            int lines = hl.highlight(src, out);
+            chars = (chars + out.length() + lines) % 1000000007;
+        }}
+        Sys.print("tokens=" + hl.tokens + " chars=" + chars);
+    }}
+}}
+"""
+
+
+register(
+    WorkloadSpec(
+        name="java2xhtml",
+        description="Java to XHTML conversion",
+        source=source,
+        profile_scale=0.1,
+        bench_scale=1.0,
+        expected_mutable=("Highlighter",),
+    )
+)

@@ -1,0 +1,92 @@
+"""SalaryDB — the paper's Figure 2 microbenchmark, verbatim.
+
+An employee database whose ``raise()`` method dispatches on the
+``grade`` state field (hot values 0–3).  The paper measures a 31.4%
+speedup, "mainly due to branch elimination and dead code elimination";
+this is the ceiling case for class mutation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+
+def source(scale: float = 1.0) -> str:
+    iterations = max(1, int(6000 * scale))
+    employees = 48
+    return f"""
+class Employee {{
+    double salary;
+    Employee() {{ salary = 0.0; }}
+    public void raise() {{ }}
+}}
+
+class HourlyEmployee extends Employee {{
+    double hourlyRate;
+    int hoursPerWeek;
+    HourlyEmployee(double rate, int hours) {{
+        hourlyRate = rate;
+        hoursPerWeek = hours;
+    }}
+    public void raise() {{
+        hourlyRate = hourlyRate * 1.005;
+        salary = hourlyRate * hoursPerWeek * 52.0;
+    }}
+}}
+
+class SalaryEmployee extends Employee {{
+    private int grade;   // can only be 0 to 3
+    SalaryEmployee(int g) {{
+        grade = g;
+    }}
+    public int getGrade() {{ return grade; }}
+    public void promote() {{
+        if (grade < 3) {{ grade = grade + 1; }}
+    }}
+    public void raise() {{
+        if (grade < 0 || grade > 3) {{ reportError(); }}
+        if (grade == 0) {{ salary += 1.0; }}
+        else if (grade == 1) {{ salary += 2.0; }}
+        else if (grade == 2) {{ salary *= 1.01; }}
+        else {{ salary *= 1.02; }}
+    }}
+    private void reportError() {{
+        Sys.print("bad grade");
+    }}
+}}
+
+class Main {{
+    static void main() {{
+        Employee[] salEmps = new Employee[{employees}];
+        for (int i = 0; i < {employees}; i++) {{
+            if (i % 8 == 7) {{
+                salEmps[i] = new HourlyEmployee(12.5, 40);
+            }} else {{
+                salEmps[i] = new SalaryEmployee(i % 4);
+            }}
+        }}
+        for (int i = 0; i < {iterations}; i++) {{
+            for (int j = 0; j < salEmps.length; j++) {{
+                salEmps[j].raise();
+            }}
+        }}
+        double total = 0.0;
+        for (int j = 0; j < salEmps.length; j++) {{
+            total += salEmps[j].salary;
+        }}
+        Sys.print("total=" + total);
+    }}
+}}
+"""
+
+
+register(
+    WorkloadSpec(
+        name="salarydb",
+        description="Microbenchmark",
+        source=source,
+        profile_scale=0.05,
+        bench_scale=1.0,
+        expected_mutable=("SalaryEmployee",),
+    )
+)

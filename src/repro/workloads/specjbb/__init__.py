@@ -1,0 +1,5 @@
+"""SPECjbb-style transaction-processing workloads (2000 and 2005)."""
+
+from repro.workloads.specjbb.common import JbbParams, jbb_source
+
+__all__ = ["JbbParams", "jbb_source"]

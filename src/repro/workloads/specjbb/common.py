@@ -1,0 +1,476 @@
+"""Shared SPECjbb-style transaction-processing infrastructure in Jx.
+
+A faithful-in-structure (scaled-down) port of the SPECjbb warehouse
+model: items, stock, districts, customers, orders and order lines, and
+the five classic transactions (NewOrder, Payment, OrderStatus,
+Delivery, StockLevel), plus the SPECjbb2005-only heavyweight
+CustomerReport.
+
+Paper-relevant structure reproduced deliberately:
+
+* ``DisplayScreen`` assigns ``rows = 24, cols = 80`` in its constructor
+  and ``DeliveryTransaction`` holds it in a *private* reference field
+  assigned once by ``new DisplayScreen()`` — the paper's Figure 7
+  object-lifetime-constant example, verbatim;
+* ``Customer.creditStatus`` and ``OrderLine.supplyMode`` are state
+  fields consulted in hot methods and assigned in cold code — the
+  mutable classes;
+* transactions dispatch virtually through the ``Transaction`` base and
+  reports go through the ``Reportable`` interface (IMT exercise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class JbbParams:
+    """Knobs distinguishing the 2000 and 2005 variants."""
+
+    #: Transactions executed by one ``runSlice()`` call.
+    slice_transactions: int = 1200
+    #: Slices executed by the standalone ``main()``.
+    main_slices: int = 2
+    #: Mix: percentages out of 100 for
+    #: (new_order, payment, order_status, delivery, stock_level,
+    #:  customer_report).
+    mix: tuple[int, int, int, int, int, int] = (44, 43, 4, 4, 5, 0)
+    #: Order lines range (SPECjbb2005 orders are heavier).
+    min_lines: int = 5
+    max_lines: int = 10
+    #: CustomerReport history depth (2005 only; drives allocation).
+    report_depth: int = 0
+    items: int = 200
+    customers: int = 60
+    districts: int = 5
+    seed: int = 20060325
+
+
+def jbb_source(params: JbbParams, scale: float = 1.0) -> str:
+    """Build the Jx source for one SPECjbb variant at ``scale``."""
+    slice_tx = max(20, int(params.slice_transactions * scale))
+    no, pay, os_, dl, sl, cr = params.mix
+    t_no = no
+    t_pay = t_no + pay
+    t_os = t_pay + os_
+    t_dl = t_os + dl
+    t_sl = t_dl + sl
+    assert t_sl + cr == 100, "mix must total 100"
+    return f"""
+interface Reportable {{
+    int reportSize();
+}}
+
+class DisplayScreen {{
+    int rows;
+    int cols;
+    DisplayScreen() {{
+        rows = 24;
+        cols = 80;
+    }}
+    public int area() {{ return rows * cols; }}
+    public int renderLine(StringBuilder out, string text) {{
+        int len = Sys.len(text);
+        if (len > cols) {{ len = cols; }}
+        out.append(Sys.substr(text, 0, len));
+        out.append("\\n");
+        return len;
+    }}
+    public int pageCapacity(int lineHeight) {{
+        return rows / lineHeight * cols;
+    }}
+}}
+
+class Item {{
+    int id;
+    string name;
+    double price;
+    Item(int i, string n, double p) {{
+        id = i;
+        name = n;
+        price = p;
+    }}
+}}
+
+class Stock {{
+    int itemId;
+    int quantity;
+    int ytd;
+    Stock(int item, int qty) {{
+        itemId = item;
+        quantity = qty;
+        ytd = 0;
+    }}
+    public void take(int qty) {{
+        quantity -= qty;
+        ytd += qty;
+        if (quantity < 10) {{
+            quantity += 91;
+        }}
+    }}
+}}
+
+class Customer implements Reportable {{
+    int id;
+    string name;
+    double balance;
+    double ytdPayment;
+    int paymentCount;
+    private int creditStatus;   // 0 = good credit (dominant), 1 = bad
+    private int tier;           // pricing tier 0..3, spread across customers
+    Customer(int i, string n, int credit, int t) {{
+        id = i;
+        name = n;
+        balance = 0.0;
+        ytdPayment = 0.0;
+        paymentCount = 0;
+        creditStatus = credit;
+        tier = t;
+    }}
+    public int getCredit() {{ return creditStatus; }}
+    public void setCredit(int c) {{ creditStatus = c; }}
+    public int getTier() {{ return tier; }}
+    public void applyPayment(double amount) {{
+        double credited;
+        if (tier == 0) {{ credited = amount * 0.98 + 0.10; }}
+        else if (tier == 1) {{ credited = amount * 0.985 + 0.05; }}
+        else if (tier == 2) {{ credited = amount * 0.99 + 0.02; }}
+        else {{ credited = amount * 0.995; }}
+        if (creditStatus == 0) {{
+            balance -= credited;
+            ytdPayment += credited;
+        }} else {{
+            balance -= credited * 0.9;
+            ytdPayment += credited * 0.9;
+            paymentCount += 1;
+        }}
+        paymentCount++;
+    }}
+    public double charge(double amount) {{
+        double charged;
+        if (tier == 0) {{ charged = amount * 1.08 + 0.25; }}
+        else if (tier == 1) {{ charged = amount * 1.06 + 0.15; }}
+        else if (tier == 2) {{ charged = amount * 1.04 + 0.05; }}
+        else {{ charged = amount * 1.02; }}
+        if (creditStatus != 0) {{ charged = charged * 1.05 + 0.5; }}
+        balance += charged;
+        return charged;
+    }}
+    public int reportSize() {{ return paymentCount + 2; }}
+}}
+
+class OrderLine {{
+    int itemId;
+    int quantity;
+    double amount;
+    private int supplyMode;   // 0 = local (dominant), 1 = remote, 2 = backorder
+    OrderLine(int item, int qty, int mode) {{
+        itemId = item;
+        quantity = qty;
+        amount = 0.0;
+        supplyMode = mode;
+    }}
+    public int getSupplyMode() {{ return supplyMode; }}
+    public double computeAmount(double price) {{
+        double a;
+        if (supplyMode == 0) {{ a = price * quantity; }}
+        else if (supplyMode == 1) {{ a = price * quantity * 1.1 + 0.5; }}
+        else {{ a = price * quantity * 1.25 + 1.5; }}
+        if (supplyMode != 0) {{ a = a + 0.35; }}
+        double discount = 0.0;
+        if (supplyMode == 0 && quantity > 3) {{ discount = a * 0.01; }}
+        else if (supplyMode == 1 && quantity > 4) {{ discount = a * 0.005; }}
+        amount = a - discount;
+        return amount;
+    }}
+}}
+
+class Order implements Reportable {{
+    int id;
+    int customerId;
+    OrderLine[] lines;
+    int lineCount;
+    boolean delivered;
+    Order(int oid, int cid, int maxLines) {{
+        id = oid;
+        customerId = cid;
+        lines = new OrderLine[maxLines];
+        lineCount = 0;
+        delivered = false;
+    }}
+    public void addLine(OrderLine line) {{
+        lines[lineCount] = line;
+        lineCount++;
+    }}
+    public double total() {{
+        double sum = 0.0;
+        for (int i = 0; i < lineCount; i++) {{
+            sum += lines[i].amount;
+        }}
+        return sum;
+    }}
+    public int reportSize() {{ return lineCount; }}
+}}
+
+class District {{
+    int id;
+    int nextOrderId;
+    double ytd;
+    District(int i) {{
+        id = i;
+        nextOrderId = 1;
+        ytd = 0.0;
+    }}
+    public int takeOrderId() {{
+        int oid = nextOrderId;
+        nextOrderId++;
+        return oid;
+    }}
+}}
+
+class Warehouse {{
+    Item[] items;
+    Stock[] stocks;
+    Customer[] customers;
+    District[] districts;
+    Vector orders;
+    int firstUndelivered;
+    Warehouse(int numItems, int numCustomers, int numDistricts) {{
+        items = new Item[numItems];
+        stocks = new Stock[numItems];
+        for (int i = 0; i < numItems; i++) {{
+            items[i] = new Item(i, "item" + i, 1.0 + (i % 50) * 0.25);
+            stocks[i] = new Stock(i, 100);
+        }}
+        customers = new Customer[numCustomers];
+        for (int c = 0; c < numCustomers; c++) {{
+            int credit = 0;
+            if (Sys.randInt(100) < 8) {{ credit = 1; }}
+            int roll = Sys.randInt(100);
+            int tier = 3;
+            if (roll < 30) {{ tier = 0; }}
+            else if (roll < 60) {{ tier = 1; }}
+            else if (roll < 85) {{ tier = 2; }}
+            customers[c] = new Customer(c, "cust" + c, credit, tier);
+        }}
+        districts = new District[numDistricts];
+        for (int d = 0; d < numDistricts; d++) {{
+            districts[d] = new District(d);
+        }}
+        orders = new Vector(256);
+        firstUndelivered = 0;
+    }}
+    public Customer randomCustomer() {{
+        return customers[Sys.randInt(customers.length)];
+    }}
+    public District randomDistrict() {{
+        return districts[Sys.randInt(districts.length)];
+    }}
+}}
+
+class Transaction {{
+    Warehouse wh;
+    Transaction(Warehouse w) {{ wh = w; }}
+    public int process() {{ return 0; }}
+}}
+
+class NewOrderTransaction extends Transaction {{
+    private DisplayScreen screen;
+    NewOrderTransaction(Warehouse w) {{
+        super(w);
+        screen = new DisplayScreen();
+    }}
+    public int process() {{
+        District district = wh.randomDistrict();
+        Customer customer = wh.randomCustomer();
+        StringBuilder out = new StringBuilder();
+        screen.renderLine(out, "NEW ORDER district " + district.id);
+        int numLines = {params.min_lines} + Sys.randInt({params.max_lines - params.min_lines + 1});
+        Order order = new Order(district.takeOrderId(), customer.id, numLines);
+        for (int l = 0; l < numLines; l++) {{
+            int itemId = Sys.randInt(wh.items.length);
+            int qty = 1 + Sys.randInt(5);
+            int roll = Sys.randInt(100);
+            int mode = 0;
+            if (roll >= 55 && roll < 85) {{ mode = 1; }}
+            else if (roll >= 85) {{ mode = 2; }}
+            OrderLine line = new OrderLine(itemId, qty, mode);
+            line.computeAmount(wh.items[itemId].price);
+            wh.stocks[itemId].take(qty);
+            order.addLine(line);
+        }}
+        customer.charge(order.total());
+        wh.orders.add(order);
+        screen.renderLine(out, "order " + order.id + " total " + order.total());
+        return order.lineCount + out.length() % 2;
+    }}
+}}
+
+class PaymentTransaction extends Transaction {{
+    private DisplayScreen screen;
+    PaymentTransaction(Warehouse w) {{
+        super(w);
+        screen = new DisplayScreen();
+    }}
+    public int process() {{
+        Customer customer = wh.randomCustomer();
+        District district = wh.randomDistrict();
+        double amount = 1.0 + Sys.randInt(5000) * 0.01;
+        customer.applyPayment(amount);
+        district.ytd += amount;
+        StringBuilder out = new StringBuilder();
+        screen.renderLine(out, "PAYMENT " + customer.name + " " + amount);
+        // Rare credit-status transitions: runtime variant behavior.
+        if (Sys.randInt(1000) < 3) {{
+            if (customer.getCredit() == 0) {{
+                customer.setCredit(1);
+            }} else {{
+                customer.setCredit(0);
+            }}
+        }}
+        return 1;
+    }}
+}}
+
+class OrderStatusTransaction extends Transaction {{
+    OrderStatusTransaction(Warehouse w) {{ super(w); }}
+    public int process() {{
+        Customer customer = wh.randomCustomer();
+        int n = wh.orders.size();
+        for (int i = n - 1; i >= 0; i--) {{
+            Order order = (Order) wh.orders.get(i);
+            if (order.customerId == customer.id) {{
+                return Sys.floorToInt(order.total());
+            }}
+        }}
+        return 0;
+    }}
+}}
+
+class DeliveryTransaction extends Transaction {{
+    private DisplayScreen deliveryScreen;
+    DeliveryTransaction(Warehouse w) {{
+        super(w);
+        deliveryScreen = new DisplayScreen();
+    }}
+    public int process() {{
+        StringBuilder screenOut = new StringBuilder();
+        int delivered = 0;
+        int budget = deliveryScreen.area();
+        int i = wh.firstUndelivered;
+        int n = wh.orders.size();
+        while (i < n && delivered < 10) {{
+            Order order = (Order) wh.orders.get(i);
+            if (!order.delivered) {{
+                order.delivered = true;
+                delivered++;
+                budget -= deliveryScreen.renderLine(
+                    screenOut, "delivered order " + order.id);
+                if (budget <= 0) {{ break; }}
+            }}
+            i++;
+        }}
+        wh.firstUndelivered = i;
+        return delivered;
+    }}
+}}
+
+class StockLevelTransaction extends Transaction {{
+    StockLevelTransaction(Warehouse w) {{ super(w); }}
+    public int process() {{
+        int low = 0;
+        int threshold = 15 + Sys.randInt(10);
+        for (int i = 0; i < wh.stocks.length; i++) {{
+            if (wh.stocks[i].quantity < threshold) {{ low++; }}
+        }}
+        return low;
+    }}
+}}
+
+class CustomerReportTransaction extends Transaction {{
+    CustomerReportTransaction(Warehouse w) {{ super(w); }}
+    public int process() {{
+        Customer customer = wh.randomCustomer();
+        StringBuilder report = new StringBuilder();
+        report.append("REPORT for " + customer.name + "\\n");
+        int size = 0;
+        int depth = {params.report_depth};
+        int n = wh.orders.size();
+        int seen = 0;
+        for (int i = n - 1; i >= 0 && seen < depth; i--) {{
+            Order order = (Order) wh.orders.get(i);
+            if (order.customerId == customer.id) {{
+                Reportable r = order;
+                size += r.reportSize();
+                report.append("order " + order.id + " total "
+                    + order.total() + "\\n");
+                for (int l = 0; l < order.lineCount; l++) {{
+                    report.append("  line item " + order.lines[l].itemId
+                        + " x" + order.lines[l].quantity + "\\n");
+                }}
+                seen++;
+            }}
+        }}
+        Reportable rc = customer;
+        size += rc.reportSize();
+        return size + report.length() % 7;
+    }}
+}}
+
+class Main {{
+    static Warehouse warehouse;
+    static int checksum = 0;
+
+    static void setup() {{
+        if (warehouse == null) {{
+            Sys.randSeed({params.seed});
+            warehouse = new Warehouse({params.items}, {params.customers}, {params.districts});
+        }}
+    }}
+
+    static int runSlice() {{
+        setup();
+        Warehouse w = warehouse;
+        int done = 0;
+        for (int t = 0; t < {slice_tx}; t++) {{
+            int roll = Sys.randInt(100);
+            Transaction tx = null;
+            if (roll < {t_no}) {{
+                tx = new NewOrderTransaction(w);
+            }} else if (roll < {t_pay}) {{
+                tx = new PaymentTransaction(w);
+            }} else if (roll < {t_os}) {{
+                tx = new OrderStatusTransaction(w);
+            }} else if (roll < {t_dl}) {{
+                tx = new DeliveryTransaction(w);
+            }} else if (roll < {t_sl}) {{
+                tx = new StockLevelTransaction(w);
+            }} else {{
+                tx = new CustomerReportTransaction(w);
+            }}
+            checksum = (checksum + tx.process()) % 1000000007;
+            done++;
+        }}
+        // Bound the order log so memory stays proportional to the slice.
+        if (w.orders.size() > 4000) {{
+            Vector fresh = new Vector(256);
+            int n = w.orders.size();
+            for (int i = n - 2000; i < n; i++) {{
+                fresh.add(w.orders.get(i));
+            }}
+            w.orders = fresh;
+            w.firstUndelivered = 0;
+        }}
+        return done;
+    }}
+
+    static void main() {{
+        int total = 0;
+        for (int s = 0; s < {params.main_slices}; s++) {{
+            total += runSlice();
+        }}
+        Sys.print("transactions=" + total + " checksum=" + checksum);
+    }}
+}}
+"""

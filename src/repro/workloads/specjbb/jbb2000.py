@@ -1,0 +1,37 @@
+"""SPECjbb2000-style workload (paper §6/§7).
+
+The classic five-transaction mix.  The paper measures a 4.5% speedup
+here: "quite a few classes are mutable and mutation creates a lot of
+opportunities for specialization inlining".
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+from repro.workloads.specjbb.common import JbbParams, jbb_source
+
+PARAMS = JbbParams(
+    slice_transactions=4000,
+    main_slices=2,
+    mix=(44, 43, 4, 4, 5, 0),
+    min_lines=5,
+    max_lines=10,
+    report_depth=0,
+)
+
+
+def source(scale: float = 1.0) -> str:
+    return jbb_source(PARAMS, scale)
+
+
+register(
+    WorkloadSpec(
+        name="jbb2000",
+        description="SPEC Transaction processing benchmark",
+        source=source,
+        profile_scale=0.1,
+        bench_scale=1.0,
+        slice_method="runSlice",
+        expected_mutable=("Customer", "OrderLine"),
+    )
+)

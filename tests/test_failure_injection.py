@@ -1,0 +1,253 @@
+"""Failure injection: adversarial scenarios for the mutation machinery."""
+
+import pytest
+
+from repro import VM, compile_source
+from repro.mutation import MutationConfig, build_mutation_plan
+from repro.mutation.plan import (
+    HotState,
+    MutableClassPlan,
+    MutationPlan,
+    StateFieldSpec,
+)
+from tests.helpers import AGGRESSIVE, assert_mutation_equivalent, run_source
+
+
+def test_object_never_in_hot_state_uses_general_code():
+    """Objects outside every hot state keep the class TIB and run the
+    general compiled code forever."""
+    source = """
+    class Worker {
+        private int mode;
+        double acc;
+        Worker(int m) { mode = m; }
+        public void step() {
+            if (mode == 0) { acc += 1.0; }
+            else if (mode == 1) { acc += 2.0; }
+            else { acc += 0.125; }
+        }
+    }
+    class Main {
+        static void main() {
+            Worker hot = new Worker(0);
+            Worker cold = new Worker(42);   // never profiled as hot
+            for (int i = 0; i < 800; i++) { hot.step(); cold.step(); }
+            Sys.print(hot.acc + " " + cold.acc);
+        }
+    }
+    """
+    # Profile only sees modes that occur; 42 occurs too (50%).  Force a
+    # plan whose hot states exclude 42 by hand to model the miss.
+    plan = MutationPlan()
+    plan.classes["Worker"] = MutableClassPlan(
+        class_name="Worker",
+        instance_fields=[StateFieldSpec("Worker", "mode", False, 1.0)],
+        hot_states=[HotState((0,), ()), HotState((1,), ())],
+        mutable_methods=["step"],
+    )
+    unit = compile_source(source)
+    vm = VM(unit, mutation_plan=plan, adaptive_config=AGGRESSIVE)
+    result = vm.run()
+    rc = vm.classes["Worker"]
+    assert set(rc.special_tibs) == {(0,), (1,)}
+    assert result.output == run_source(source, AGGRESSIVE)
+
+
+def test_state_thrashing_stays_correct():
+    """Pathological: the state field changes on every call.  Slow, but
+    must stay correct (every write re-evaluates the TIB)."""
+    source = """
+    class Thrash {
+        private int mode;
+        int acc;
+        Thrash() { mode = 0; }
+        public void step(int i) {
+            mode = i % 3;
+            if (mode == 0) { acc += 1; }
+            else if (mode == 1) { acc += 10; }
+            else { acc += 100; }
+        }
+    }
+    class Main {
+        static void main() {
+            Thrash t = new Thrash();
+            for (int i = 0; i < 900; i++) { t.step(i); }
+            Sys.print("" + t.acc);
+        }
+    }
+    """
+    assert_mutation_equivalent(source)
+
+
+def test_hand_written_plan_with_private_method_is_guarded():
+    """A hand-authored plan that (incorrectly) lists a private method of
+    an instance-state class must not corrupt dispatch tables."""
+    source = """
+    class P {
+        private int mode;
+        int acc;
+        P(int m) { mode = m; }
+        private int secretStep() {
+            if (mode == 0) { return 1; }
+            return 2;
+        }
+        public void step() { acc += secretStep(); }
+    }
+    class Main {
+        static void main() {
+            P p = new P(0);
+            for (int i = 0; i < 600; i++) { p.step(); }
+            Sys.print("" + p.acc);
+        }
+    }
+    """
+    plan = MutationPlan()
+    plan.classes["P"] = MutableClassPlan(
+        class_name="P",
+        instance_fields=[StateFieldSpec("P", "mode", False, 1.0)],
+        hot_states=[HotState((0,), ())],
+        mutable_methods=["secretStep", "step"],  # secretStep is private!
+    )
+    unit = compile_source(source)
+    vm = VM(unit, mutation_plan=plan, adaptive_config=AGGRESSIVE)
+    result = vm.run()
+    assert result.output == "600\n"
+
+
+def test_plan_for_missing_class_is_ignored():
+    source = 'class Main { static void main() { Sys.print("ok"); } }'
+    plan = MutationPlan()
+    plan.classes["Ghost"] = MutableClassPlan(
+        class_name="Ghost",
+        instance_fields=[StateFieldSpec("Ghost", "x", False, 1.0)],
+        hot_states=[HotState((1,), ())],
+        mutable_methods=["m"],
+    )
+    unit = compile_source(source)
+    vm = VM(unit, mutation_plan=plan)
+    assert vm.run().output == "ok\n"
+
+
+def test_interface_calls_reach_specialized_code():
+    """Interface dispatch on a mutable class must honor the special TIB
+    through the offset-IMT (paper §3.2.3)."""
+    source = """
+    interface Stepper { int step(int x); }
+    class Machine implements Stepper {
+        private int mode;
+        Machine(int m) { mode = m; }
+        public int step(int x) {
+            if (mode == 0) { return x + 1; }
+            else if (mode == 1) { return x + 2; }
+            return x + 3;
+        }
+    }
+    class Main {
+        static void main() {
+            Stepper[] ss = new Stepper[3];
+            ss[0] = new Machine(0);
+            ss[1] = new Machine(1);
+            ss[2] = new Machine(2);
+            int acc = 0;
+            for (int i = 0; i < 900; i++) { acc = ss[i % 3].step(acc) % 9973; }
+            Sys.print("" + acc);
+        }
+    }
+    """
+    plan = build_mutation_plan(source)
+    assert "Machine" in plan.classes
+    off = run_source(source, AGGRESSIVE)
+    unit = compile_source(source)
+    vm = VM(unit, mutation_plan=plan, adaptive_config=AGGRESSIVE)
+    assert vm.run().output == off
+    # The IMT entry was converted to an offset entry.
+    from repro.vm.imt import OffsetEntry
+
+    rc = vm.classes["Machine"]
+    slot = rc.imt_slot_of["step"]
+    assert isinstance(rc.imt.slots[slot], OffsetEntry)
+    # And specialized code actually sits in the special TIBs.
+    rm = rc.own_methods["step"]
+    assert rm.specials
+
+
+def test_mutable_method_overridden_by_subclass():
+    """Specials never propagate to subclasses (paper Fig. 5/§3.2.2)."""
+    source = """
+    class Base {
+        private int mode;
+        Base(int m) { mode = m; }
+        public int f() {
+            if (mode == 0) { return 1; }
+            return 2;
+        }
+    }
+    class Derived extends Base {
+        Derived(int m) { super(m); }
+        public int f() { return 99; }
+    }
+    class Main {
+        static void main() {
+            Base[] xs = new Base[2];
+            xs[0] = new Base(0);
+            xs[1] = new Derived(0);
+            int acc = 0;
+            for (int i = 0; i < 800; i++) { acc += xs[i % 2].f(); }
+            Sys.print("" + acc);
+        }
+    }
+    """
+    assert_mutation_equivalent(source)
+
+
+def test_zero_hot_states_class_is_inert():
+    plan = MutationPlan()
+    plan.classes["C"] = MutableClassPlan(
+        class_name="C",
+        instance_fields=[StateFieldSpec("C", "m", False, 1.0)],
+        hot_states=[],
+        mutable_methods=["f"],
+    )
+    source = """
+    class C {
+        int m;
+        public int f() { return m; }
+    }
+    class Main {
+        static void main() {
+            C c = new C();
+            Sys.print("" + c.f());
+        }
+    }
+    """
+    unit = compile_source(source)
+    vm = VM(unit, mutation_plan=plan)
+    assert vm.run().output == "0\n"
+    assert vm.classes["C"].special_tibs == {}
+
+
+def test_double_valued_field_never_a_state_field():
+    """Doubles are excluded from state fields (continuous domain)."""
+    source = """
+    class D {
+        double rate;
+        D(double r) { rate = r; }
+        public double f(double x) {
+            if (rate > 1.0) { return x * rate; }
+            return x;
+        }
+    }
+    class Main {
+        static void main() {
+            D d = new D(2.0);
+            double acc = 1.0;
+            for (int i = 0; i < 600; i++) {
+                acc = d.f(acc);
+                if (acc > 7919.0) { acc = acc - 7919.0; }
+            }
+            Sys.print("" + acc);
+        }
+    }
+    """
+    plan = build_mutation_plan(source)
+    assert "D" not in plan.classes

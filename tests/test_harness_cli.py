@@ -1,0 +1,116 @@
+"""Harness and CLI tests (fast, small scales)."""
+
+import pytest
+
+from repro.harness.experiment import (
+    compare_warehouses,
+    compare_workload,
+    run_workload,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.tables import PAPER_TABLE1, format_table1, table1
+from repro.workloads import get_workload
+
+
+def test_run_workload_collects_metrics():
+    spec = get_workload("salarydb")
+    m = run_workload(spec, None, repeats=1, scale=0.05)
+    assert m.wall_seconds > 0
+    assert m.opt_code_bytes > 0
+    assert not m.mutated
+    assert "total=" in m.output
+
+
+def test_compare_workload_small_scale():
+    spec = get_workload("salarydb")
+    from repro.mutation import build_mutation_plan
+
+    plan = build_mutation_plan(spec.source(0.05))
+    base = run_workload(spec, None, repeats=1, scale=0.05)
+    mut = run_workload(spec, plan, repeats=1, scale=0.05)
+    assert base.output == mut.output
+    assert mut.special_versions >= 1
+    assert mut.special_tib_bytes > 0
+    assert mut.tib_swaps >= 1
+
+
+def test_compare_warehouses_interleaved():
+    spec = get_workload("jbb2000")
+    comparison = compare_warehouses(
+        spec, num_warehouses=2, repeats=2, scale=0.05
+    )
+    assert len(comparison.deltas) == 2
+    assert len(comparison.base_samples[0]) == 2
+    assert all(t > 0 for t in comparison.baseline.throughputs)
+    assert -0.9 < comparison.steady_state_delta(warmup=1) < 9.0
+
+
+def test_warehouse_requires_slice_method():
+    spec = get_workload("salarydb")
+    with pytest.raises(ValueError):
+        compare_warehouses(spec, num_warehouses=1, repeats=1)
+
+
+def test_table1_rows_cover_paper():
+    rows = table1()
+    assert {r.name for r in rows} == set(PAPER_TABLE1)
+    text = format_table1(rows)
+    assert "jbb2000" in text and "Microbenchmark" in text
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_workloads(capsys):
+    assert cli_main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "salarydb" in out and "jbb2005" in out
+
+
+def test_cli_run_and_disasm(tmp_path, capsys):
+    program = tmp_path / "hello.jx"
+    program.write_text(
+        'class Main { static void main() { Sys.print("hi " + (2 + 3)); } }'
+    )
+    assert cli_main(["run", str(program)]) == 0
+    assert capsys.readouterr().out == "hi 5\n"
+    assert cli_main(["disasm", str(program)]) == 0
+    out = capsys.readouterr().out
+    assert "invokestatic" in out and "class Main" in out
+
+
+def test_cli_run_with_mutation(tmp_path, capsys):
+    program = tmp_path / "m.jx"
+    program.write_text(
+        """
+        class Counter {
+            private int mode;
+            Counter(int m) { mode = m; }
+            public int step(int x) {
+                if (mode == 0) { return x + 1; }
+                return x * 2;
+            }
+        }
+        class Main {
+            static void main() {
+                Counter c = new Counter(0);
+                int acc = 0;
+                for (int i = 0; i < 400; i++) { acc = c.step(acc) % 9999; }
+                Sys.print("" + acc);
+            }
+        }
+        """
+    )
+    assert cli_main(["run", str(program)]) == 0
+    plain = capsys.readouterr().out
+    assert cli_main(["run", str(program), "--mutate"]) == 0
+    assert capsys.readouterr().out == plain
+
+
+def test_cli_plan(capsys):
+    assert cli_main(["plan", "salarydb"]) == 0
+    out = capsys.readouterr().out
+    assert "SalaryEmployee" in out and "grade" in out
+
+
+def test_cli_fig_unknown(capsys):
+    assert cli_main(["fig", "99"]) == 1

@@ -1,0 +1,109 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokKind.EOF
+
+
+def test_int_literal():
+    toks = tokenize("42")
+    assert toks[0].kind is TokKind.INT_LIT
+    assert toks[0].value == 42
+
+
+def test_double_literal():
+    toks = tokenize("3.25")
+    assert toks[0].kind is TokKind.DOUBLE_LIT
+    assert toks[0].value == 3.25
+
+
+def test_double_with_exponent():
+    assert tokenize("1.5e3")[0].value == 1500.0
+    assert tokenize("2e-2")[0].value == 0.02
+
+
+def test_int_followed_by_dot_method_is_not_double():
+    # "1.x" style: dot not followed by digit stays separate.
+    toks = tokenize("arr.length")
+    assert [t.value for t in toks[:-1]] == ["arr", ".", "length"]
+
+
+def test_string_literal_with_escapes():
+    toks = tokenize(r'"a\nb\t\"q\\"')
+    assert toks[0].kind is TokKind.STRING_LIT
+    assert toks[0].value == 'a\nb\t"q\\'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+
+
+def test_newline_in_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"ab\ncd"')
+
+
+def test_bad_escape_raises():
+    with pytest.raises(LexError):
+        tokenize(r'"\q"')
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("class classy if iffy")
+    assert toks[0].kind is TokKind.KEYWORD
+    assert toks[1].kind is TokKind.IDENT
+    assert toks[2].kind is TokKind.KEYWORD
+    assert toks[3].kind is TokKind.IDENT
+
+
+def test_line_comments_skipped():
+    assert values("a // comment here\n b") == ["a", "b"]
+
+
+def test_block_comments_skipped():
+    assert values("a /* x\ny */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_longest_match_operators():
+    assert values("a<=b") == ["a", "<=", "b"]
+    assert values("a<<=1") == ["a", "<<=", 1]
+    assert values("x++") == ["x", "++"]
+    assert values("a&&b||c") == ["a", "&&", "b", "||", "c"]
+
+
+def test_positions_are_tracked():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a # b")
+
+
+def test_underscore_identifiers():
+    toks = tokenize("_foo bar_baz x_1")
+    assert [t.value for t in toks[:-1]] == ["_foo", "bar_baz", "x_1"]

@@ -1,0 +1,204 @@
+"""Offline analysis tests: EQ1 state fields, hot states, lifetime
+constants, and plan assembly."""
+
+from repro.lang import compile_source
+from repro.mutation import (
+    MutationConfig,
+    build_mutation_plan,
+    analyze_lifetime_constants,
+    ctor_constant_fields,
+    derive_state_fields,
+)
+from repro.mutation.state_fields import collect_field_usage
+from repro.profiling import plan_from_json, plan_to_json, profile_methods
+
+SALARY = """
+class Employee {
+    double salary;
+    public void raise() { }
+}
+class SalaryEmployee extends Employee {
+    private int grade;
+    SalaryEmployee(int g) { grade = g; }
+    public void raise() {
+        if (grade == 0) { salary += 1.0; }
+        else if (grade == 1) { salary += 2.0; }
+        else if (grade == 2) { salary *= 1.01; }
+        else { salary *= 1.02; }
+    }
+}
+class Main {
+    static void main() {
+        Employee[] emps = new Employee[8];
+        for (int i = 0; i < 8; i++) { emps[i] = new SalaryEmployee(i % 4); }
+        for (int r = 0; r < 400; r++) {
+            for (int j = 0; j < 8; j++) { emps[j].raise(); }
+        }
+    }
+}
+"""
+
+
+def test_eq1_finds_grade():
+    unit = compile_source(SALARY)
+    profile = profile_methods(unit)
+    hotness = profile.hotness_by_method()
+    usage = collect_field_usage(unit, hotness, MutationConfig())
+    entry = usage["SalaryEmployee.grade"]
+    assert entry.branch_score > 0
+    assert entry.score(MutationConfig()) > 0
+
+
+def test_eq1_salary_not_a_state_field():
+    """salary is assigned in the hot method and never branched on."""
+    unit = compile_source(SALARY)
+    profile = profile_methods(unit)
+    fields = derive_state_fields(
+        unit, {"SalaryEmployee"}, profile.hotness_by_method()
+    )
+    keys = {s.key for specs in fields.values() for s in specs}
+    assert "SalaryEmployee.grade" in keys
+    assert "Employee.salary" not in keys
+
+
+def test_full_plan_on_salarydb():
+    plan = build_mutation_plan(SALARY)
+    assert "SalaryEmployee" in plan.classes
+    cp = plan.classes["SalaryEmployee"]
+    assert [s.field_name for s in cp.instance_fields] == ["grade"]
+    values = sorted(hs.instance_values[0] for hs in cp.hot_states)
+    assert values == [0, 1, 2, 3]
+    assert "raise" in cp.mutable_methods
+
+
+def test_plan_high_R_suppresses_thrashing_fields():
+    """EQ1's R knob: with a large assignment-cost weight, a field
+    reassigned in the hot loop is rejected as a state field (the
+    paper's assumption 3)."""
+    source = SALARY.replace(
+        "salary += 1.0;", "salary += 1.0; grade = (grade + 1) % 4;"
+    )
+    plan = build_mutation_plan(
+        source, config=MutationConfig(R=16.0)
+    )
+    cp = plan.classes.get("SalaryEmployee")
+    if cp is not None:
+        assert all(s.field_name != "grade" for s in cp.instance_fields)
+    # With the default R the field survives (uses outweigh assignments).
+    default_plan = build_mutation_plan(source)
+    assert "SalaryEmployee" in default_plan.classes
+
+
+def test_plan_serialization_roundtrip():
+    plan = build_mutation_plan(SALARY)
+    text = plan_to_json(plan)
+    back = plan_from_json(text)
+    assert set(back.classes) == set(plan.classes)
+    cp0 = plan.classes["SalaryEmployee"]
+    cp1 = back.classes["SalaryEmployee"]
+    assert [h.key for h in cp0.hot_states] == [h.key for h in cp1.hot_states]
+    assert cp0.mutable_methods == cp1.mutable_methods
+
+
+LIFETIME = """
+class Screen {
+    int rows;
+    int cols;
+    Screen() { rows = 24; cols = 80; }
+    public int area() { return rows * cols; }
+}
+class GoodHolder {
+    private Screen screen;
+    GoodHolder() { screen = new Screen(); }
+    public int use() { return screen.area(); }
+}
+class EscapingHolder {
+    private Screen screen;
+    Screen leaked;
+    EscapingHolder() { screen = new Screen(); }
+    public void leak() { leaked = screen; }
+}
+class PassingHolder {
+    private Screen screen;
+    PassingHolder() { screen = new Screen(); }
+    public int give() { return consume(screen); }
+    private int consume(Screen s) { return s.area(); }
+}
+class MutatingHolder {
+    private Screen screen;
+    MutatingHolder() { screen = new Screen(); }
+    public void shrink() { screen.rows = 10; }
+}
+class Main { static void main() { } }
+"""
+
+
+def _lifetime(unit_src=LIFETIME):
+    unit = compile_source(unit_src)
+    return analyze_lifetime_constants(unit, ["Screen"])
+
+
+def test_ctor_constants_detected():
+    unit = compile_source(LIFETIME)
+    consts = ctor_constant_fields(unit, "Screen")
+    assert consts["<init>/0"] == {"Screen.rows": 24, "Screen.cols": 80}
+
+
+def test_good_holder_gets_lifetime_constants():
+    results = _lifetime()
+    info = results.get("GoodHolder.screen")
+    assert info is not None
+    assert info.target_class == "Screen"
+    # MutatingHolder writes rows somewhere in the program, so only cols
+    # survives the "never assigned outside Screen ctors" requirement.
+    assert info.field_values_by_name == {"cols": 80}
+
+
+def test_escaping_ref_field_rejected():
+    results = _lifetime()
+    assert "EscapingHolder.screen" not in results
+
+
+def test_passed_as_argument_rejected():
+    results = _lifetime()
+    assert "PassingHolder.screen" not in results
+
+
+def test_receiver_use_is_not_escape():
+    """Calling a method ON the field is the whole point (paper §5)."""
+    results = _lifetime()
+    assert "GoodHolder.screen" in results
+
+
+def test_lifetime_requires_single_ctor():
+    src = """
+    class S {
+        int v;
+        S() { v = 1; }
+        S(int x) { v = x; }
+    }
+    class H {
+        private S s;
+        H(boolean which) {
+            if (which) { s = new S(); } else { s = new S(5); }
+        }
+        public int use() { return s.v; }
+    }
+    class Main { static void main() { } }
+    """
+    unit = compile_source(src)
+    results = analyze_lifetime_constants(unit, ["S"])
+    assert "H.s" not in results
+
+
+def test_lifetime_public_ref_field_rejected():
+    src = """
+    class S { int v; S() { v = 3; } }
+    class H {
+        public S s;
+        H() { s = new S(); }
+    }
+    class Main { static void main() { } }
+    """
+    unit = compile_source(src)
+    assert analyze_lifetime_constants(unit, ["S"]) == {}

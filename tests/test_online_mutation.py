@@ -1,0 +1,133 @@
+"""Tests for the online (single-VM) mutation controller — the paper's
+future-work extension (§9) implemented in repro.mutation.online."""
+
+from repro import VM, compile_source
+from repro.mutation.online import OnlineMutationController
+from tests.helpers import AGGRESSIVE, INTERP_ONLY, run_source
+
+SOURCE = """
+class Employee {
+    double salary;
+    public void raise() { }
+}
+class SalaryEmployee extends Employee {
+    private int grade;
+    SalaryEmployee(int g) { grade = g; }
+    public void raise() {
+        if (grade == 0) { salary += 1.0; }
+        else if (grade == 1) { salary += 2.0; }
+        else if (grade == 2) { salary *= 1.01; }
+        else { salary *= 1.02; }
+    }
+}
+class Main {
+    static int rounds;
+    static Employee[] emps;
+    static void setup() {
+        if (emps == null) {
+            emps = new Employee[16];
+            for (int i = 0; i < 16; i++) {
+                emps[i] = new SalaryEmployee(i % 4);
+            }
+        }
+    }
+    static double slice() {
+        setup();
+        for (int r = 0; r < 300; r++) {
+            for (int j = 0; j < 16; j++) { emps[j].raise(); }
+        }
+        double total = 0.0;
+        for (int j = 0; j < 16; j++) { total += emps[j].salary; }
+        return total;
+    }
+    static void main() {
+        Sys.print("" + slice());
+    }
+}
+"""
+
+
+def make_vm(auto=False, min_samples=8):
+    unit = compile_source(SOURCE)
+    vm = VM(unit, adaptive_config=AGGRESSIVE)
+    controller = OnlineMutationController(
+        vm, auto_activate=auto, min_samples=min_samples
+    )
+    return vm, controller
+
+
+def test_candidates_selected_statically():
+    _, controller = make_vm()
+    assert "SalaryEmployee" in controller._candidates
+    cp = controller._candidates["SalaryEmployee"]
+    assert [s.field_name for s in cp.instance_fields] == ["grade"]
+
+
+def test_samples_accumulate_during_execution():
+    vm, controller = make_vm()
+    vm.call_static("Main", "slice", [])
+    assert controller._samples >= 16  # one per constructed employee
+    assert not controller.activated
+
+
+def test_manual_activation_builds_plan_and_specializes():
+    vm, controller = make_vm()
+    first = vm.call_static("Main", "slice", [])
+    plan = controller.activate()
+    assert controller.activated
+    assert "SalaryEmployee" in plan.classes
+    values = sorted(
+        hs.instance_values[0]
+        for hs in plan.classes["SalaryEmployee"].hot_states
+    )
+    assert values == [0, 1, 2, 3]
+    # raise() was already at opt2 -> respecialization fired immediately.
+    rm = vm.classes["SalaryEmployee"].own_methods["raise"]
+    assert rm.compiled.opt_level == 2
+    assert len(rm.specials) == 4
+    # Execution continues correctly under mutation.
+    second = vm.call_static("Main", "slice", [])
+    assert second > first  # salaries keep growing
+
+
+def test_auto_activation_threshold():
+    vm, controller = make_vm(auto=True, min_samples=8)
+    vm.call_static("Main", "slice", [])
+    assert controller.activated
+    assert vm.mutation_manager is controller.manager
+
+
+def test_online_matches_offline_and_plain_output():
+    # Plain run.
+    plain = run_source(SOURCE, AGGRESSIVE)
+    # Online-mutated run (activation mid-stream).
+    unit = compile_source(SOURCE)
+    vm = VM(unit, adaptive_config=AGGRESSIVE)
+    OnlineMutationController(vm, auto_activate=True, min_samples=4)
+    assert vm.run().output == plain
+
+
+def test_objects_from_before_activation_stay_correct():
+    """Pre-activation objects keep class TIBs (general code) until their
+    next state write; behavior must be unchanged either way."""
+    vm, controller = make_vm()
+    vm.call_static("Main", "slice", [])
+    before = vm.call_static("Main", "slice", [])
+    controller.activate()
+    rc = vm.classes["SalaryEmployee"]
+    # Existing objects still dispatch through the class TIB.
+    emps_slot = vm.unit.lookup_field("Main", "emps").slot
+    emps = vm.jtoc.get(emps_slot)
+    sal = next(o for o in emps.data if o.jx_class is rc)
+    assert sal.tib is rc.class_tib
+    after = vm.call_static("Main", "slice", [])
+    assert after > before
+
+
+def test_describe_reports_state():
+    vm, controller = make_vm()
+    assert "profiling" in controller.describe()
+    vm.call_static("Main", "slice", [])
+    controller.activate()
+    assert "activated" in controller.describe()
+    assert "SalaryEmployee" in controller.describe()

@@ -1,0 +1,256 @@
+"""Unit tests for the optimizing compiler's passes."""
+
+from repro.lang import compile_source
+from repro.opt.boundselim import eliminate_bounds_checks
+from repro.opt.branchfold import cleanup_cfg
+from repro.opt.constprop import constant_propagation
+from repro.opt.dce import dead_code_elimination
+from repro.opt.fold import NoFold, fold_op
+from repro.opt.ir import Const, IRFunction, Reg, clone_ir
+from repro.opt.lowering import lower_method
+from repro.opt.simplify import simplify
+from repro.opt.specialize import SpecBindings, specialize_ir, this_aliases
+from repro.opt.strength import strength_reduce
+from repro.vm.linker import Linker
+import pytest
+
+
+def lowered(source, cls, method):
+    """Compile + link, then lower one method to IR."""
+    unit = compile_source(source)
+    Linker(unit).link()
+    return lower_method(unit.classes[cls].methods[method]), unit
+
+
+def count_ops(fn: IRFunction, op: str) -> int:
+    return sum(
+        1
+        for block in fn.block_order()
+        for instr in block.instrs
+        if instr.op == op
+    )
+
+
+SRC = """
+class C {
+    int state;
+    int[] data;
+    public int poly(int x) {
+        int a = 2 + 3;
+        int b = a * x;
+        if (a == 5) { b = b + 1; } else { b = b - 1; }
+        return b;
+    }
+    public int dead(int x) {
+        int unused = x * 1000;
+        int alive = x + 1;
+        return alive;
+    }
+    public int dispatch() {
+        if (state == 0) { return 10; }
+        else if (state == 1) { return 20; }
+        else { return 30; }
+    }
+    public int rmw(int i) {
+        data[i] = data[i] + 1;
+        return data[i];
+    }
+    public int strength(int x) {
+        return x * 8 + x * 2;
+    }
+}
+class Main { static void main() { } }
+"""
+
+
+def run_pipeline(fn):
+    from repro.opt.cse import local_cse
+
+    for _ in range(4):
+        changed = simplify(fn)
+        changed += local_cse(fn)
+        changed += constant_propagation(fn)
+        changed += cleanup_cfg(fn)
+        changed += dead_code_elimination(fn)
+        if not changed:
+            break
+
+
+# -- fold ---------------------------------------------------------------------
+
+def test_fold_int_semantics():
+    assert fold_op("idiv", [-7, 2]) == -3
+    assert fold_op("irem", [-7, 3]) == -1
+    assert fold_op("add", [1, 2]) == 3
+
+
+def test_fold_refuses_div_by_zero():
+    with pytest.raises(NoFold):
+        fold_op("idiv", [1, 0])
+    with pytest.raises(NoFold):
+        fold_op("fdiv", [1.0, 0.0])
+
+
+def test_fold_concat_coerces():
+    assert fold_op("concat", [1, True]) == "1true"
+    assert fold_op("concat", [None, 1.0]) == "null1.0"
+
+
+def test_fold_eq_null():
+    assert fold_op("eq", [None, None]) is True
+    assert fold_op("ne", [None, "x"]) is True
+
+
+# -- constant propagation + branch folding ----------------------------------
+
+def test_constprop_folds_constant_branch():
+    fn, _ = lowered(SRC, "C", "poly")
+    run_pipeline(fn)
+    # a == 5 is statically true: the else arm must be gone.
+    assert count_ops(fn, "br") == 0
+    text = fn.pretty()
+    assert "sub" not in text  # b - 1 arm removed
+
+
+def test_dispatch_chain_untouched_without_bindings():
+    fn, _ = lowered(SRC, "C", "dispatch")
+    run_pipeline(fn)
+    assert count_ops(fn, "br") >= 2  # still state-dependent
+
+
+# -- DCE -----------------------------------------------------------------------
+
+def test_dce_removes_dead_computation():
+    fn, _ = lowered(SRC, "C", "dead")
+    before = fn.instr_count()
+    run_pipeline(fn)
+    assert fn.instr_count() < before
+    assert count_ops(fn, "mul") == 0
+
+
+def test_dce_keeps_side_effects():
+    src = """
+    class C {
+        static int g;
+        public void m() { g = 1; Sys.print("x"); }
+    }
+    class Main { static void main() { } }
+    """
+    fn, _ = lowered(src, "C", "m")
+    run_pipeline(fn)
+    assert count_ops(fn, "putstatic") == 1
+    assert count_ops(fn, "calls") + count_ops(fn, "intr") == 1
+
+
+# -- specialization -----------------------------------------------------------
+
+def _state_slot(unit):
+    return unit.lookup_field("C", "state").slot
+
+
+def test_specialize_collapses_dispatch_chain():
+    fn, unit = lowered(SRC, "C", "dispatch")
+    replaced = specialize_ir(
+        fn, SpecBindings(instance={_state_slot(unit): 1})
+    )
+    assert replaced >= 1
+    run_pipeline(fn)
+    assert count_ops(fn, "br") == 0
+    assert count_ops(fn, "getfield") == 0
+    # The remaining return must be the state-1 arm.
+    rets = [
+        instr
+        for block in fn.block_order()
+        for instr in block.instrs
+        if instr.op == "ret"
+    ]
+    assert len(rets) == 1
+    assert rets[0].args[0] == Const(20)
+
+
+def test_specialize_skips_self_written_fields():
+    src = """
+    class C {
+        int state;
+        public int flip() {
+            state = state + 1;
+            if (state == 1) { return 1; }
+            return 0;
+        }
+    }
+    class Main { static void main() { } }
+    """
+    fn, unit = lowered(src, "C", "flip")
+    slot = unit.lookup_field("C", "state").slot
+    replaced = specialize_ir(fn, SpecBindings(instance={slot: 0}))
+    assert replaced == 0  # method writes the field: must not specialize
+
+
+def test_this_aliases_tracks_moves():
+    fn, _ = lowered(SRC, "C", "dispatch")
+    aliases = this_aliases(fn)
+    assert "l0" in aliases
+
+
+# -- strength reduction ----------------------------------------------------------
+
+def test_strength_reduces_power_of_two_mul():
+    fn, _ = lowered(SRC, "C", "strength")
+    run_pipeline(fn)
+    strength_reduce(fn)
+    text = fn.pretty()
+    assert "shl" in text   # x * 8
+    # x * 2 becomes x + x
+    assert count_ops(fn, "mul") == 0
+
+
+def test_strength_keeps_double_mul():
+    src = """
+    class C { public double m(double x) { return x * 8.0; } }
+    class Main { static void main() { } }
+    """
+    fn, _ = lowered(src, "C", "m")
+    run_pipeline(fn)
+    strength_reduce(fn)
+    assert count_ops(fn, "shl") == 0
+
+
+# -- bounds-check elimination ------------------------------------------------------
+
+def test_redundant_bounds_check_eliminated():
+    fn, _ = lowered(SRC, "C", "rmw")
+    run_pipeline(fn)
+    removed = eliminate_bounds_checks(fn)
+    assert removed >= 1
+    checked = [
+        instr.extra.bounds
+        for block in fn.block_order()
+        for instr in block.instrs
+        if instr.op in ("aload", "astore")
+    ]
+    assert checked.count(False) == removed
+    assert checked.count(True) >= 1  # first access stays checked
+
+
+# -- clone -----------------------------------------------------------------------
+
+def test_clone_ir_is_independent():
+    fn, _ = lowered(SRC, "C", "dispatch")
+    copy = clone_ir(fn)
+    run_pipeline(copy)  # mutate the copy heavily
+    assert fn.instr_count() != 0
+    # Original unchanged: same op histogram as a fresh lowering.
+    fresh, _ = lowered(SRC, "C", "dispatch")
+    assert fn.instr_count() == fresh.instr_count()
+
+
+def test_simplify_algebraic_identities():
+    src = """
+    class C { public int m(int x) { return (x + 0) * 1 - 0; } }
+    class Main { static void main() { } }
+    """
+    fn, _ = lowered(src, "C", "m")
+    run_pipeline(fn)
+    assert count_ops(fn, "add") == 0
+    assert count_ops(fn, "mul") == 0
+    assert count_ops(fn, "sub") == 0

@@ -1,0 +1,196 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.bytecode.classfile import JxType
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_source
+
+
+def parse_one(source):
+    program = parse_source(source)
+    assert len(program.classes) == 1
+    return program.classes[0]
+
+
+def first_stmt(body_src):
+    cls = parse_one(
+        "class C { void m() { " + body_src + " } }"
+    )
+    return cls.methods[0].body.stmts[0]
+
+
+def expr_of(expr_src):
+    stmt = first_stmt("int x = " + expr_src + ";")
+    return stmt.init
+
+
+def test_empty_class():
+    cls = parse_one("class Foo { }")
+    assert cls.name == "Foo"
+    assert cls.super_name is None
+    assert not cls.is_interface
+
+
+def test_extends_and_implements():
+    cls = parse_one("class A extends B implements I, J { }")
+    assert cls.super_name == "B"
+    assert cls.interfaces == ["I", "J"]
+
+
+def test_interface_decl():
+    cls = parse_one("interface I { int f(int x); void g(); }")
+    assert cls.is_interface
+    assert [m.name for m in cls.methods] == ["f", "g"]
+    assert cls.methods[0].body is None
+
+
+def test_field_declarations():
+    cls = parse_one(
+        "class C { int a; private static double b; string x, y; }"
+    )
+    names = [f.name for f in cls.fields]
+    assert names == ["a", "b", "x", "y"]
+    assert cls.fields[1].is_static
+    assert cls.fields[1].access == "private"
+    assert cls.fields[2].type == JxType("string")
+
+
+def test_field_initializer():
+    cls = parse_one("class C { static int a = 5; }")
+    assert isinstance(cls.fields[0].init, ast.IntLit)
+
+
+def test_constructor_detected():
+    cls = parse_one("class C { C(int x) { } }")
+    assert cls.methods[0].is_constructor
+    assert cls.methods[0].params[0].name == "x"
+
+
+def test_array_types():
+    cls = parse_one("class C { int[] a; string[][] b; }")
+    assert cls.fields[0].type == JxType("int", 1)
+    assert cls.fields[1].type == JxType("string", 2)
+
+
+def test_precedence_mul_over_add():
+    e = expr_of("1 + 2 * 3")
+    assert isinstance(e, ast.BinOp) and e.op == "+"
+    assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+
+def test_precedence_comparison_over_and():
+    cls = parse_one("class C { void m() { boolean b = 1 < 2 && 3 < 4; } }")
+    e = cls.methods[0].body.stmts[0].init
+    assert e.op == "&&"
+    assert e.left.op == "<"
+
+
+def test_ternary():
+    e = expr_of("1 < 2 ? 3 : 4")
+    assert isinstance(e, ast.Ternary)
+
+
+def test_parenthesized_not_cast():
+    e = expr_of("(1 + 2) * 3")
+    assert isinstance(e, ast.BinOp) and e.op == "*"
+
+
+def test_primitive_cast():
+    e = expr_of("(int) 3.5")
+    assert isinstance(e, ast.Cast)
+    assert e.type == JxType("int")
+
+
+def test_class_cast():
+    stmt = first_stmt("Object o = (Object) x;")
+    assert isinstance(stmt.init, ast.Cast)
+
+
+def test_instanceof():
+    stmt = first_stmt("boolean b = x instanceof Foo;")
+    assert isinstance(stmt.init, ast.InstanceOf)
+
+
+def test_new_object_and_array():
+    assert isinstance(expr_of("new Foo(1, 2)"), ast.New)
+    arr = first_stmt("int[] a = new int[10];").init
+    assert isinstance(arr, ast.NewArray)
+    assert arr.elem_type == JxType("int")
+
+
+def test_new_array_of_arrays():
+    stmt = first_stmt("int[][] a = new int[5][];")
+    assert stmt.init.elem_type == JxType("int", 1)
+
+
+def test_method_call_chain():
+    e = expr_of("a.b().c(1)")
+    assert isinstance(e, ast.MethodCall) and e.name == "c"
+    assert isinstance(e.receiver, ast.MethodCall)
+
+
+def test_index_chain():
+    stmt = first_stmt("int v = m[1][2];")
+    assert isinstance(stmt.init, ast.Index)
+    assert isinstance(stmt.init.array, ast.Index)
+
+
+def test_compound_assignment_records_op():
+    stmt = first_stmt("x += 2;")
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.compound_op == "+"
+
+
+def test_increment_statement():
+    stmt = first_stmt("x++;")
+    assert stmt.compound_op == "+"
+    assert isinstance(stmt.value, ast.IntLit)
+
+
+def test_for_loop_parts():
+    stmt = first_stmt("for (int i = 0; i < 3; i++) { }")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.VarDecl)
+    assert isinstance(stmt.update, ast.Assign)
+
+
+def test_dangling_else_binds_inner():
+    stmt = first_stmt("if (a) if (b) x = 1; else x = 2;")
+    assert isinstance(stmt, ast.If)
+    assert stmt.otherwise is None
+    assert isinstance(stmt.then, ast.If)
+    assert stmt.then.otherwise is not None
+
+
+def test_super_and_this_ctor_calls():
+    cls = parse_one("class C { C() { super(1); } C(int x) { this(); } }")
+    assert cls.methods[0].body.stmts[0].kind == "super"
+    assert cls.methods[1].body.stmts[0].kind == "this"
+
+
+def test_super_method_call():
+    stmt = first_stmt("super.m(1);")
+    assert isinstance(stmt, ast.ExprStmt)
+    assert stmt.expr.is_super
+
+
+def test_bad_assignment_target_raises():
+    with pytest.raises(ParseError):
+        parse_source("class C { void m() { 1 = 2; } }")
+
+
+def test_expression_statement_must_be_call():
+    with pytest.raises(ParseError):
+        parse_source("class C { void m() { a + b; } }")
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse_source("class C { void m() { int x = 1 } }")
+
+
+def test_void_field_rejected():
+    with pytest.raises(ParseError):
+        parse_source("class C { void f; }")

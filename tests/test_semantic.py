@@ -1,0 +1,265 @@
+"""Semantic analysis tests: typing rules, resolution, and errors."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.errors import SemanticError
+
+
+def ok(source):
+    return compile_source(source)
+
+
+def bad(source, fragment):
+    with pytest.raises(SemanticError) as err:
+        compile_source(source)
+    assert fragment in str(err.value), str(err.value)
+
+
+M = "class Main {{ static void main() {{ {} }} }}"
+
+
+def test_unknown_identifier():
+    bad(M.format("x = 1;"), "unknown identifier")
+
+
+def test_unknown_type():
+    bad("class Main { static void main() { Foo f = null; } }",
+        "unknown type")
+
+
+def test_condition_must_be_boolean():
+    bad(M.format("if (1) { }"), "must be boolean")
+
+
+def test_arith_type_mismatch():
+    bad(M.format('int x = 1 + true;'), "numeric")
+
+
+def test_string_concat_accepts_anything():
+    ok(M.format('string s = "v=" + 1 + true + 2.5 + null;'))
+
+
+def test_int_widens_to_double():
+    ok(M.format("double d = 3;"))
+
+
+def test_double_does_not_narrow_implicitly():
+    bad(M.format("int x = 3.5;"), "cannot convert")
+
+
+def test_lossy_compound_assign_rejected():
+    bad(M.format("int x = 1; x += 2.5;"), "lossy")
+
+
+def test_modulo_requires_ints():
+    bad(M.format("double d = 5.0; int x = 5 % 2; d = d % 2.0;"),
+        "'%'")
+
+
+def test_return_type_checked():
+    bad("class Main { static int f() { return true; } static void main(){} }",
+        "cannot convert")
+
+
+def test_void_cannot_return_value():
+    bad("class Main { static void main() { return 1; } }",
+        "void method")
+
+
+def test_missing_return_value():
+    bad("class Main { static int f() { return; } static void main(){} }",
+        "missing return value")
+
+
+def test_duplicate_variable():
+    bad(M.format("int x = 1; int x = 2;"), "already declared")
+
+
+def test_variable_scoping_allows_sibling_blocks():
+    ok(M.format("{ int x = 1; } { int x = 2; }"))
+
+
+def test_break_outside_loop():
+    bad(M.format("break;"), "outside of loop")
+
+
+def test_this_in_static_context():
+    bad("class Main { int f; static void main() { int x = f; } }",
+        "static context")
+
+
+def test_static_field_ok_from_static():
+    ok("class Main { static int f; static void main() { int x = f; } }")
+
+
+def test_private_field_inaccessible():
+    bad(
+        """
+        class A { private int secret; }
+        class Main { static void main() { A a = new A(); int x = a.secret; } }
+        """,
+        "private",
+    )
+
+
+def test_default_access_field_accessible():
+    ok(
+        """
+        class A { int open; }
+        class Main { static void main() { A a = new A(); int x = a.open; } }
+        """
+    )
+
+
+def test_call_arity_checked():
+    bad(
+        """
+        class A { void m(int x) { } }
+        class Main { static void main() { A a = new A(); a.m(); } }
+        """,
+        "expects 1 argument",
+    )
+
+
+def test_override_signature_must_match():
+    bad(
+        """
+        class A { int m() { return 1; } }
+        class B extends A { double m() { return 2.0; } }
+        class Main { static void main() { } }
+        """,
+        "different signature",
+    )
+
+
+def test_interface_must_be_implemented():
+    bad(
+        """
+        interface I { int f(); }
+        class A implements I { }
+        class Main { static void main() { } }
+        """,
+        "does not implement",
+    )
+
+
+def test_interface_implemented_via_superclass():
+    ok(
+        """
+        interface I { int f(); }
+        class Base { public int f() { return 1; } }
+        class A extends Base implements I { }
+        class Main { static void main() { } }
+        """
+    )
+
+
+def test_inheritance_cycle_detected():
+    bad(
+        """
+        class A extends B { }
+        class B extends A { }
+        class Main { static void main() { } }
+        """,
+        "cycle",
+    )
+
+
+def test_cannot_extend_interface():
+    bad(
+        """
+        interface I { }
+        class A extends I { }
+        class Main { static void main() { } }
+        """,
+        "cannot extend interface",
+    )
+
+
+def test_cannot_instantiate_interface():
+    bad(
+        """
+        interface I { }
+        class Main { static void main() { I i = new I(); } }
+        """,
+        "cannot instantiate",
+    )
+
+
+def test_super_requires_matching_ctor():
+    bad(
+        """
+        class A { A(int x) { } }
+        class B extends A { }
+        class Main { static void main() { } }
+        """,
+        "no-arg constructor",
+    )
+
+
+def test_explicit_super_ok():
+    ok(
+        """
+        class A { int v; A(int x) { v = x; } }
+        class B extends A { B() { super(7); } }
+        class Main { static void main() { B b = new B(); } }
+        """
+    )
+
+
+def test_ctor_overload_by_arity():
+    ok(
+        """
+        class A { A() { } A(int x) { } }
+        class Main { static void main() { A a = new A(); A b = new A(1); } }
+        """
+    )
+
+
+def test_instanceof_on_primitive_rejected():
+    bad(M.format("boolean b = 1 instanceof Object;"),
+        "non-reference")
+
+
+def test_cast_between_unrelated_ok_checked_at_runtime():
+    ok(
+        """
+        class A { }
+        class B { }
+        class Main { static void main() { Object o = new A(); } }
+        """
+    )
+
+
+def test_arrays_are_invariant():
+    bad(
+        """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() { A[] arr = new B[3]; }
+        }
+        """,
+        "cannot convert",
+    )
+
+
+def test_array_length_not_assignable():
+    bad(M.format("int[] a = new int[3]; a.length = 5;"),
+        "not assignable")
+
+
+def test_class_name_as_value_rejected():
+    bad(
+        """
+        class A { }
+        class Main { static void main() { Object o = A; } }
+        """,
+        "used as a value",
+    )
+
+
+def test_null_assignable_to_refs_not_prims():
+    ok(M.format("Object o = null; string s = null;"))
+    bad(M.format("int x = null;"), "cannot convert")

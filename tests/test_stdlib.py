@@ -1,0 +1,129 @@
+"""Self-hosted stdlib tests (also a standing compiler integration test)."""
+
+from tests.helpers import assert_all_tiers_agree, run_source, wrap_main
+
+
+def out(body):
+    return run_source(wrap_main(body))
+
+
+def test_stringbuilder_growth_and_join():
+    body = """
+    StringBuilder sb = new StringBuilder();
+    for (int i = 0; i < 40; i++) { sb.appendInt(i); sb.append(","); }
+    string s = sb.toString();
+    Sys.print(Sys.len(s) + " " + Sys.startsWith(s, "0,1,2,"));
+    """
+    assert out(body) == "110 true\n"
+
+
+def test_stringbuilder_clear_and_isempty():
+    body = """
+    StringBuilder sb = new StringBuilder();
+    Sys.print("" + sb.isEmpty());
+    sb.append("xy");
+    Sys.print(sb.length() + " " + sb.isEmpty());
+    sb.clear();
+    Sys.print(sb.toString() + "|" + sb.length());
+    """
+    assert out(body) == "true\n2 false\n|0\n"
+
+
+def test_vector_add_get_remove():
+    prelude = "class Box { int v; Box(int x) { v = x; } }"
+    body = """
+    Vector vec = new Vector();
+    for (int i = 0; i < 20; i++) { vec.add(new Box(i)); }
+    Box last = (Box) vec.removeLast();
+    Box mid = (Box) vec.get(10);
+    Sys.print(vec.size() + " " + last.v + " " + mid.v);
+    vec.clear();
+    Sys.print("" + vec.isEmpty());
+    """
+    assert run_source(wrap_main(body, prelude)) == "19 19 10\ntrue\n"
+
+
+def test_intvector_and_doublevector():
+    body = """
+    IntVector iv = new IntVector();
+    DoubleVector dv = new DoubleVector();
+    for (int i = 1; i <= 100; i++) { iv.push(i); dv.push(i * 0.5); }
+    Sys.print(iv.sum() + " " + dv.sum() + " " + iv.get(9));
+    """
+    assert out(body) == "5050 2525.0 10\n"
+
+
+def test_strmap_put_get_overwrite_rehash():
+    prelude = "class Val { int v; Val(int x) { v = x; } }"
+    body = """
+    StrMap m = new StrMap();
+    for (int i = 0; i < 100; i++) { m.put("k" + i, new Val(i)); }
+    m.put("k5", new Val(555));
+    Val v5 = (Val) m.get("k5");
+    Val v99 = (Val) m.get("k99");
+    Sys.print(m.size() + " " + v5.v + " " + v99.v + " "
+        + m.containsKey("k42") + " " + m.containsKey("nope") + " "
+        + (m.get("nope") == null));
+    """
+    assert run_source(wrap_main(body, prelude)) \
+        == "100 555 99 true false true\n"
+
+
+def test_sys_string_functions():
+    body = """
+    string s = "  Hello, World  ";
+    Sys.print(Sys.trim(s) + "|");
+    Sys.print(Sys.upper("ab") + Sys.lower("CD"));
+    Sys.print("" + Sys.indexOf("abcabc", "ca") + Sys.contains("abc", "b"));
+    Sys.print(Sys.replace("a-b-c", "-", "+"));
+    Sys.print(Sys.substr("abcdef", 2, 5));
+    Sys.print("" + Sys.ordAt("A", 0) + Sys.chr(66));
+    Sys.print(Sys.repeat("ab", 3));
+    string[] parts = Sys.split("a,b,,c", ",");
+    Sys.print(parts.length + " " + parts[2] + "|");
+    """
+    assert out(body) == (
+        "Hello, World|\nABcd\n2true\na+b+c\ncde\n65B\nababab\n4 |\n"
+    )
+
+
+def test_sys_parse_and_format():
+    body = """
+    Sys.print("" + (Sys.parseInt(" 42 ") + 1));
+    Sys.print("" + (Sys.parseDouble("2.5") * 2.0));
+    Sys.print(Sys.itos(7) + Sys.dtos(1.5));
+    """
+    assert out(body) == "43\n5.0\n71.5\n"
+
+
+def test_sys_math_functions():
+    body = """
+    Sys.print("" + Sys.sqrt(16.0) + " " + Sys.pow(2.0, 10.0));
+    Sys.print("" + Sys.floorToInt(3.7) + " " + Sys.ceilToInt(3.2)
+        + " " + Sys.round(2.5));
+    Sys.print("" + Sys.iabs(0-5) + " " + Sys.imin(3, 7) + " "
+        + Sys.imax(3, 7));
+    Sys.print("" + Sys.abs(0.0-2.5) + " " + Sys.dmin(1.5, 2.5));
+    """
+    assert out(body) == "4.0 1024.0\n3 4 3\n5 3 7\n2.5 1.5\n"
+
+
+def test_string_hash_matches_java():
+    # Java's "abc".hashCode() == 96354.
+    assert out('Sys.print("" + Sys.strHash("abc"));') == "96354\n"
+
+
+def test_stdlib_under_all_tiers():
+    assert_all_tiers_agree(
+        wrap_main(
+            """
+            StrMap m = new StrMap();
+            StringBuilder sb = new StringBuilder();
+            for (int i = 0; i < 150; i++) {
+                m.put("key" + (i % 40), null);
+                sb.appendInt(m.size());
+            }
+            Sys.print(m.size() + " " + Sys.len(sb.toString()));
+            """
+        )
+    )

@@ -1,0 +1,77 @@
+"""Workload smoke tests + full-pipeline equivalence at small scale."""
+
+import pytest
+
+from repro import VM, compile_source
+from repro.mutation import build_mutation_plan
+from repro.workloads import PAPER_ORDER, all_workloads, get_workload
+from tests.helpers import AGGRESSIVE
+
+
+def test_all_seven_registered():
+    names = {spec.name for spec in all_workloads()}
+    assert names == set(PAPER_ORDER)
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_workload_compiles_and_runs(name):
+    spec = get_workload(name)
+    unit = compile_source(spec.source(0.03), entry_class=spec.entry_class)
+    vm = VM(unit, adaptive_config=AGGRESSIVE)
+    result = vm.run()
+    assert result.output  # every workload reports something
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_workload_mutation_equivalence(name):
+    spec = get_workload(name)
+    scale = 0.05
+    plan = build_mutation_plan(
+        spec.source(scale), entry_class=spec.entry_class
+    )
+    outs = []
+    for p in (None, plan):
+        unit = compile_source(spec.source(scale),
+                              entry_class=spec.entry_class)
+        vm = VM(unit, mutation_plan=p, adaptive_config=AGGRESSIVE)
+        outs.append(vm.run().output)
+    assert outs[0] == outs[1]
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_expected_mutable_classes_found(name):
+    spec = get_workload(name)
+    plan = build_mutation_plan(
+        spec.profile_source(), entry_class=spec.entry_class
+    )
+    for cls in spec.expected_mutable:
+        assert cls in plan.classes, (
+            f"{name}: expected {cls} mutable, got {sorted(plan.classes)}"
+        )
+
+
+def test_jbb_slice_entry_repeatable():
+    spec = get_workload("jbb2000")
+    unit = compile_source(spec.source(0.05), entry_class=spec.entry_class)
+    vm = VM(unit, adaptive_config=AGGRESSIVE)
+    first = vm.call_static("Main", "runSlice", [])
+    second = vm.call_static("Main", "runSlice", [])
+    assert first > 0 and second > 0
+
+
+def test_jbb_lifetime_constants_match_paper_fig7():
+    spec = get_workload("jbb2000")
+    plan = build_mutation_plan(
+        spec.profile_source(), entry_class=spec.entry_class
+    )
+    info = plan.lifetime_constants.get("DeliveryTransaction.deliveryScreen")
+    assert info is not None
+    assert info.target_class == "DisplayScreen"
+    assert info.field_values_by_name == {"rows": 24, "cols": 80}
+
+
+def test_table1_counts_positive():
+    for spec in all_workloads():
+        classes, methods = spec.table1_counts()
+        assert classes >= 2
+        assert methods >= classes
