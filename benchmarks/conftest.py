@@ -4,9 +4,18 @@ Figures 9-12 all derive from the same seven on/off comparisons, and
 Figure 9's SPECjbb entries reuse the warehouse experiments of Figures
 13/15; the first benchmark that needs each artifact computes and caches
 it here so the suite measures everything exactly once.
+
+Every benchmark module also records its paper-vs-measured numbers as a
+machine-readable ``BENCH_<figure>.json`` next to this file (via
+:func:`write_bench_json` / :func:`write_bench_warehouses`), so the perf
+trajectory can be diffed across PRs without re-parsing pytest output.
 """
 
 from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
 
 from repro.harness.figures import (
     _comparisons,
@@ -16,6 +25,49 @@ from repro.harness.figures import (
 )
 
 _CACHE: dict[str, object] = {}
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def _write_bench(figure: str, payload: dict[str, Any]) -> pathlib.Path:
+    payload = {"figure": figure, **payload}
+    path = BENCH_DIR / f"BENCH_{figure}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_bench_json(figure: str, rows, unit: str = "%") -> None:
+    """Record a list of FigureRow-shaped results (paper vs measured)."""
+    _write_bench(figure, {
+        "unit": unit,
+        "rows": [
+            {
+                "workload": row.workload,
+                "paper": row.paper,
+                "measured": row.measured,
+                "extra": row.extra,
+            }
+            for row in rows
+        ],
+    })
+
+
+def write_bench_warehouses(figure: str, comparison) -> None:
+    """Record a WarehouseComparison (per-warehouse deltas)."""
+    _write_bench(figure, {
+        "unit": "relative throughput delta",
+        "workload": comparison.workload,
+        "accelerated": comparison.accelerated,
+        "deltas": comparison.deltas,
+        "steady_state_delta": comparison.steady_state_delta(),
+        "baseline_throughputs": comparison.baseline.throughputs,
+        "mutated_throughputs": comparison.mutated.throughputs,
+    })
+
+
+def write_bench_scalar(figure: str, **values: Any) -> None:
+    """Record a free-form scalar result set (table1, overhead checks)."""
+    _write_bench(figure, {"values": values})
 
 
 def get_comparisons():

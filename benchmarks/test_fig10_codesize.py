@@ -8,7 +8,7 @@ asserted shape is boundedness and that the increase is attributable to
 the special versions.
 """
 
-from conftest import get_comparisons
+from conftest import get_comparisons, write_bench_json
 
 from repro.harness.figures import fig10_code_size, format_rows
 
@@ -18,6 +18,7 @@ def test_fig10_code_size_increase(benchmark):
         get_comparisons, iterations=1, rounds=1
     )
     rows = fig10_code_size(comparisons)
+    write_bench_json("fig10", rows)
     print()
     print(format_rows(
         "Figure 10: opt-compiled code size increase", rows,

@@ -7,7 +7,7 @@ increase is positive (specials cost real compile time) and the
 compile-to-execution fraction stays a small minority of the run.
 """
 
-from conftest import get_comparisons
+from conftest import get_comparisons, write_bench_json
 
 from repro.harness.figures import fig11_compile_time, format_rows
 
@@ -17,6 +17,7 @@ def test_fig11_compile_time_increase(benchmark):
         get_comparisons, iterations=1, rounds=1
     )
     rows = fig11_compile_time(comparisons)
+    write_bench_json("fig11", rows)
     print()
     print(format_rows(
         "Figure 11: opt compile time increase", rows,

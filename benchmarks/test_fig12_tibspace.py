@@ -7,7 +7,7 @@ here, with the same per-slot memory model (8-byte words + 2 header
 words).
 """
 
-from conftest import get_comparisons
+from conftest import get_comparisons, write_bench_json
 
 from repro.harness.figures import fig12_tib_space, format_rows
 
@@ -17,6 +17,7 @@ def test_fig12_tib_space_increase(benchmark):
         get_comparisons, iterations=1, rounds=1
     )
     rows = fig12_tib_space(comparisons)
+    write_bench_json("fig12", rows, unit="B")
     print()
     print(format_rows(
         "Figure 12: TIB space increase (bytes)", rows, unit="B",

@@ -10,13 +10,14 @@ regress meaningfully.
 
 import statistics
 
-from conftest import get_fig13
+from conftest import get_fig13, write_bench_warehouses
 
 from repro.harness.figures import format_warehouses
 
 
 def test_fig13_jbb2000_warehouse_progression(benchmark):
     comparison = benchmark.pedantic(get_fig13, iterations=1, rounds=1)
+    write_bench_warehouses("fig13", comparison)
     print()
     print(format_warehouses(
         "Figure 13: SPECjbb2000 throughput change per warehouse",

@@ -10,13 +10,14 @@ of the steady-state mean), and the steady state is healthy.
 
 import statistics
 
-from conftest import get_fig14
+from conftest import get_fig14, write_bench_warehouses
 
 from repro.harness.figures import format_warehouses
 
 
 def test_fig14_accelerated_detection(benchmark):
     comparison = benchmark.pedantic(get_fig14, iterations=1, rounds=1)
+    write_bench_warehouses("fig14", comparison)
     print()
     print(format_warehouses(
         "Figure 14: SPECjbb2000, accelerated mutable-method detection",

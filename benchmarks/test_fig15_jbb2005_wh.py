@@ -10,13 +10,14 @@ gain by a wide margin.
 
 import statistics
 
-from conftest import get_fig15
+from conftest import get_fig15, write_bench_warehouses
 
 from repro.harness.figures import format_warehouses
 
 
 def test_fig15_jbb2005_warehouse_progression(benchmark):
     comparison = benchmark.pedantic(get_fig15, iterations=1, rounds=1)
+    write_bench_warehouses("fig15", comparison)
     print()
     print(format_warehouses(
         "Figure 15: SPECjbb2005 throughput change per warehouse",

@@ -8,7 +8,7 @@ the specialization-friendly benchmarks, and no meaningful regression
 anywhere.
 """
 
-from conftest import get_comparisons, get_fig13, get_fig15
+from conftest import get_comparisons, get_fig13, get_fig15, write_bench_json
 
 from repro.harness.figures import fig9_speedups, format_rows
 
@@ -25,6 +25,7 @@ def _measure():
 
 def test_fig9_overall_speedup(benchmark):
     rows = benchmark.pedantic(_measure, iterations=1, rounds=1)
+    write_bench_json("fig9", rows)
     print()
     print(format_rows("Figure 9: overall speedup", rows,
                       extra_keys=("outputs_match", "metric")))

@@ -1,11 +1,18 @@
 """Table 1: the benchmark inventory (program, description, classes,
 methods) — ours vs. the paper's Java originals."""
 
+from conftest import write_bench_scalar
+
 from repro.harness.tables import format_table1, table1
 
 
 def test_table1(benchmark):
     rows = benchmark.pedantic(table1, iterations=1, rounds=1)
+    write_bench_scalar(
+        "table1",
+        **{r.name: {"classes": r.classes, "methods": r.methods}
+           for r in rows},
+    )
     print()
     print(format_table1(rows))
     by_name = {r.name: r for r in rows}

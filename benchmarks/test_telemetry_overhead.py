@@ -1,0 +1,67 @@
+"""Telemetry overhead: the zero-overhead-when-disabled contract.
+
+Acceptance gate for the telemetry subsystem: with telemetry disabled,
+SalaryDB wall time must regress by less than 2% versus the seed
+configuration (``telemetry=None``).  A disabled :class:`Telemetry`
+instance exercises every guard the instrumentation added to the hot
+paths — one attribute load plus an ``enabled`` check per dispatch —
+while the build-time hook selection (mutation closures, opt2 fast
+paths) behaves exactly as if no telemetry were attached.
+
+Measured as interleaved min-of-N so host noise hits both sides
+equally; only ``VM.run()`` is timed (front-end compilation is
+identical and excluded).
+"""
+
+import time
+
+from conftest import write_bench_scalar
+
+from repro import VM, Telemetry, compile_source
+from repro.mutation import build_mutation_plan
+from repro.workloads import get_workload
+
+SCALE = 0.25
+REPEATS = 7
+MAX_REGRESSION = 0.02
+
+
+def _run_once(source, plan, telemetry):
+    program = compile_source(source)
+    vm = VM(program, mutation_plan=plan, telemetry=telemetry)
+    start = time.perf_counter()
+    vm.run()
+    return time.perf_counter() - start
+
+
+def _measure_overhead():
+    spec = get_workload("salarydb")
+    source = spec.source(SCALE)
+    plan = build_mutation_plan(source)
+    # Warm the host (imports, allocator, frequency scaling) off-clock.
+    _run_once(source, plan, None)
+    baseline, disabled = [], []
+    for _ in range(REPEATS):
+        baseline.append(_run_once(source, plan, None))
+        disabled.append(_run_once(source, plan, Telemetry(enabled=False)))
+    return min(baseline), min(disabled)
+
+
+def test_disabled_telemetry_overhead(benchmark):
+    base, off = benchmark.pedantic(
+        _measure_overhead, iterations=1, rounds=1
+    )
+    ratio = off / base
+    write_bench_scalar(
+        "telemetry_overhead",
+        baseline_seconds=base,
+        disabled_telemetry_seconds=off,
+        ratio=ratio,
+        max_allowed_ratio=1.0 + MAX_REGRESSION,
+    )
+    print(f"\nSalaryDB wall time: telemetry=None {base:.4f}s, "
+          f"disabled Telemetry {off:.4f}s (ratio {ratio:.4f})")
+    assert ratio < 1.0 + MAX_REGRESSION, (
+        f"disabled telemetry costs {(ratio - 1) * 100:.2f}% "
+        f"(limit {MAX_REGRESSION * 100:.0f}%)"
+    )

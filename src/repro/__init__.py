@@ -10,18 +10,22 @@ Public API tour:
   :class:`~repro.mutation.plan.MutationPlan`;
 * :mod:`repro.workloads` — the seven benchmark programs from the paper;
 * :mod:`repro.harness` — experiment drivers regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :class:`repro.Telemetry` — VM-wide tracing & metrics
+  (``VM(unit, telemetry=Telemetry())``; see :mod:`repro.telemetry`).
 """
 
 from repro.lang import compile_source
+from repro.telemetry import Telemetry
 from repro.vm import VM, AdaptiveConfig, RunResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "VM",
     "AdaptiveConfig",
     "RunResult",
+    "Telemetry",
     "compile_source",
     "__version__",
 ]

@@ -6,7 +6,12 @@ Subcommands:
 * ``disasm FILE``         — print the program's bytecode;
 * ``workloads``           — list registered benchmark workloads;
 * ``plan WORKLOAD``       — run the offline pipeline, print the plan;
-* ``compare WORKLOAD``    — measure mutation on vs. off;
+* ``compare WORKLOAD``    — measure mutation on vs. off (with a
+  telemetry summary: compile seconds by tier, TIB swaps, hooks);
+* ``trace WORKLOAD``      — run under telemetry, write Chrome-trace
+  JSON for chrome://tracing / Perfetto (``-o trace.json``);
+* ``stats WORKLOAD``      — run under telemetry, print the counters /
+  histograms / event-taxonomy report;
 * ``table1``              — regenerate Table 1;
 * ``fig N``               — regenerate Figure N (9..15).
 """
@@ -68,14 +73,95 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.harness.experiment import compare_workload
+    from repro.harness.experiment import (
+        compare_workload,
+        telemetry_compile_summary,
+    )
 
     spec = get_workload(args.workload)
-    comparison = compare_workload(spec, repeats=args.repeats)
+    comparison = compare_workload(
+        spec, repeats=args.repeats, telemetry=not args.no_telemetry
+    )
     print(f"{spec.name}: baseline {comparison.baseline.wall_seconds:.3f}s, "
           f"mutated {comparison.mutated.wall_seconds:.3f}s, "
           f"speedup {comparison.speedup:+.1%}, "
           f"outputs match: {comparison.outputs_match}")
+    if not args.no_telemetry:
+        base = telemetry_compile_summary(
+            comparison.baseline.telemetry_report
+        )
+        mut = telemetry_compile_summary(
+            comparison.mutated.telemetry_report
+        )
+
+        def tiers(summary: dict) -> str:
+            by_tier = summary["compile_seconds_by_tier"]
+            return " ".join(
+                f"{tier}={seconds:.3f}s"
+                for tier, seconds in sorted(by_tier.items())
+            ) or "-"
+
+        print(f"  compile seconds  baseline {base['compile_seconds_total']:.3f}s"
+              f" ({tiers(base)})")
+        print(f"                   mutated  {mut['compile_seconds_total']:.3f}s"
+              f" ({tiers(mut)})")
+        print(f"  tib swaps        baseline {base['tib_swaps']}, "
+              f"mutated {mut['tib_swaps']} "
+              f"(+{mut['deopt_swaps']} back to class TIB)")
+        print(f"  hooks fired      baseline {base['hooks_fired']}, "
+              f"mutated {mut['hooks_fired']}; "
+              f"specials compiled: {mut['specials_compiled']}")
+    return 0
+
+
+def _run_instrumented(args: argparse.Namespace):
+    """Shared driver for ``trace``/``stats``: one telemetry-enabled run
+    of the workload (mutation on by default, like ``compare``'s mutated
+    side)."""
+    from repro.lang import compile_source as _compile
+    from repro.telemetry import Telemetry
+    from repro.vm.runtime import VM as _VM
+
+    spec = get_workload(args.workload)
+    scale = args.scale if args.scale is not None else spec.bench_scale
+    source = spec.source(scale)
+    plan = None
+    if not args.no_mutate:
+        plan = build_mutation_plan(
+            spec.profile_source(), entry_class=spec.entry_class
+        )
+    telemetry = Telemetry(capacity=args.capacity)
+    unit = _compile(
+        source,
+        filename=f"<{spec.name}>",
+        entry_class=spec.entry_class,
+        entry_method=spec.entry_method,
+    )
+    vm = _VM(unit, mutation_plan=plan, telemetry=telemetry)
+    result = vm.run()
+    return spec, vm, result, telemetry
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import write_chrome_trace
+
+    spec, _vm, result, telemetry = _run_instrumented(args)
+    write_chrome_trace(
+        telemetry, args.output, process_name=f"JxVM:{spec.name}"
+    )
+    print(f"{spec.name}: {telemetry.bus.total_emitted} events "
+          f"({telemetry.bus.dropped} dropped) in "
+          f"{result.wall_seconds:.3f}s -> {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_text_report
+
+    spec, _vm, _result, telemetry = _run_instrumented(args)
+    print(format_text_report(
+        telemetry, title=f"JxVM telemetry: {spec.name}"
+    ))
     return 0
 
 
@@ -147,7 +233,36 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compare", help="measure mutation on vs off")
     p.add_argument("workload")
     p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="skip the telemetry summary (slightly faster)")
     p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload under telemetry, write Chrome-trace JSON",
+    )
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", default="trace.json")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: the bench scale)")
+    p.add_argument("--no-mutate", action="store_true",
+                   help="run without a mutation plan")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="event ring-buffer capacity")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a workload under telemetry, print the metrics report",
+    )
+    p.add_argument("workload")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: the bench scale)")
+    p.add_argument("--no-mutate", action="store_true",
+                   help="run without a mutation plan")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="event ring-buffer capacity")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.set_defaults(fn=_cmd_table1)

@@ -39,6 +39,9 @@ class Measurement:
     special_versions: int
     output: str
     objects_allocated: int = 0
+    #: Telemetry summary (counters/gauges/histograms/events) of the
+    #: best run's VM, when the run was telemetry-instrumented.
+    telemetry_report: dict | None = None
 
     @property
     def compile_fraction(self) -> float:
@@ -67,8 +70,14 @@ def run_workload(
     accelerated: bool = False,
     seed: int = 42,
     scale: float | None = None,
+    telemetry: bool = False,
 ) -> Measurement:
-    """Run one workload configuration; returns the best-of-N measurement."""
+    """Run one workload configuration; returns the best-of-N measurement.
+
+    ``telemetry=True`` attaches a fresh :class:`~repro.telemetry.Telemetry`
+    to every VM and reports the last run's summary — instrumented runs
+    carry a small overhead, so compare only like against like.
+    """
     source = spec.source(scale if scale is not None else spec.bench_scale)
     best_wall = float("inf")
     vm: VM | None = None
@@ -85,6 +94,7 @@ def run_workload(
             mutation_plan=plan,
             adaptive_config=_adaptive_config(plan, accelerated),
             seed=seed,
+            telemetry=telemetry or None,
         )
         result = vm.run()
         output = result.output
@@ -92,6 +102,7 @@ def run_workload(
     assert vm is not None
     stats = vm.compile_stats
     manager = vm.mutation_manager
+    report = vm.telemetry.summary() if vm.telemetry is not None else None
     return Measurement(
         workload=spec.name,
         mutated=plan is not None,
@@ -108,7 +119,37 @@ def run_workload(
         ),
         output=output,
         objects_allocated=vm.heap.objects_allocated,
+        telemetry_report=report,
     )
+
+
+def telemetry_compile_summary(report: dict | None) -> dict:
+    """Flatten a Measurement's telemetry report into the handful of
+    numbers the mutation-on/off comparison cares about: compile seconds
+    by tier and the swap/hook/special counters."""
+    out: dict = {
+        "compile_seconds_total": 0.0,
+        "compile_seconds_by_tier": {},
+        "tib_swaps": 0,
+        "deopt_swaps": 0,
+        "hooks_fired": 0,
+        "specials_compiled": 0,
+    }
+    if not report:
+        return out
+    for name, hist in report.get("histograms", {}).items():
+        if name.startswith("compile.seconds."):
+            tier = name.rsplit(".", 1)[1]
+            out["compile_seconds_by_tier"][tier] = hist["sum"]
+            out["compile_seconds_total"] += hist["sum"]
+    counters = report.get("counters", {})
+    out["tib_swaps"] = counters.get("mutation.tib_swap", 0)
+    out["deopt_swaps"] = counters.get("mutation.deopt_to_class_tib", 0)
+    out["hooks_fired"] = counters.get("mutation.hooks_fired", 0)
+    out["specials_compiled"] = counters.get(
+        "mutation.specials_compiled", 0
+    )
+    return out
 
 
 @dataclass
@@ -163,6 +204,7 @@ def compare_workload(
     repeats: int = 2,
     seed: int = 42,
     plan: MutationPlan | None = None,
+    telemetry: bool = False,
 ) -> Comparison:
     """Full offline pipeline + measured on/off comparison.
 
@@ -181,8 +223,10 @@ def compare_workload(
     baseline: Measurement | None = None
     mutated: Measurement | None = None
     for _ in range(max(1, repeats)):
-        b = run_workload(spec, None, repeats=1, seed=seed)
-        m = run_workload(spec, plan, repeats=1, seed=seed)
+        b = run_workload(spec, None, repeats=1, seed=seed,
+                         telemetry=telemetry)
+        m = run_workload(spec, plan, repeats=1, seed=seed,
+                         telemetry=telemetry)
         if baseline is None or b.wall_seconds < baseline.wall_seconds:
             baseline = b
         if mutated is None or m.wall_seconds < mutated.wall_seconds:

@@ -39,6 +39,7 @@ from typing import Any
 from repro.bytecode.opcodes import Op
 from repro.mutation.plan import HotState, MutableClassPlan, MutationPlan
 from repro.opt.specialize import SpecBindings
+from repro.telemetry.core import maybe as _tel_maybe
 from repro.vm.imt import ConflictStub, DirectEntry, OffsetEntry
 from repro.vm.tib import TIB
 
@@ -125,6 +126,14 @@ class MutationManager:
         self._install_ctor_hooks()
         self._publish_lifetime_constants()
         vm.adaptive.recompile_listeners.append(self.on_recompiled)
+        tel = _tel_maybe(vm.telemetry)
+        if tel is not None:
+            tel.metrics.gauge("mutation.mutable_classes").set(
+                len(self.mcrs)
+            )
+            tel.metrics.gauge("mutation.special_tibs").set(
+                vm.mutation_stats.special_tibs_created
+            )
 
     def _create_special_tibs(self, mcr: MutableClassRuntime) -> None:
         """One special TIB per hot state; states sharing instance values
@@ -198,15 +207,32 @@ class MutationManager:
         mutable class whose state depends on any instance field.  The
         exact-class check matters: a subclass construction runs this
         constructor via super(), but only exact instances mutate."""
+        tel = self.vm.telemetry
         for mcr in self.mcrs.values():
             if not mcr.instance_slots:
                 continue
             reeval = self._make_reeval(mcr)
             rc = mcr.rc
 
-            def ctor_hook(vm: Any, obj: Any, _rc=rc, _reeval=reeval) -> None:
-                if obj.tib.type_info is _rc:
-                    _reeval(obj)
+            if tel is None:
+
+                def ctor_hook(vm: Any, obj: Any, _rc=rc,
+                              _reeval=reeval) -> None:
+                    if obj.tib.type_info is _rc:
+                        _reeval(obj)
+
+            else:
+
+                def ctor_hook(vm: Any, obj: Any, _rc=rc,
+                              _reeval=reeval, _tel=tel) -> None:
+                    if obj.tib.type_info is _rc:
+                        if _tel.enabled:
+                            _tel.count("mutation.hooks_fired")
+                            _tel.emit(
+                                "hook_fired", kind="ctor_exit",
+                                cls=_rc.name,
+                            )
+                        _reeval(obj)
 
             spec = getattr(reeval, "inline_spec", None)
             if spec is not None:
@@ -245,15 +271,31 @@ class MutationManager:
         for name, mcr in self.mcrs.items():
             if mcr.instance_slots:
                 reeval_by_class[name] = self._make_reeval(mcr)
+        tel = self.vm.telemetry
 
-        def hook(vm: Any, obj: Any) -> None:
+        if tel is None:
+
+            def hook(vm: Any, obj: Any) -> None:
+                if obj is None:
+                    return
+                reeval = reeval_by_class.get(obj.tib.type_info.name)
+                if reeval is not None:
+                    reeval(obj)
+
+            return hook
+
+        def hook_tel(vm: Any, obj: Any) -> None:
             if obj is None:
                 return
-            reeval = reeval_by_class.get(obj.tib.type_info.name)
+            cls_name = obj.tib.type_info.name
+            if tel.enabled:
+                tel.count("mutation.hooks_fired")
+                tel.emit("hook_fired", kind="putfield", cls=cls_name)
+            reeval = reeval_by_class.get(cls_name)
             if reeval is not None:
                 reeval(obj)
 
-        return hook
+        return hook_tel
 
     def _make_reeval(self, mcr: MutableClassRuntime):
         """Class-specialized TIB re-evaluation closure.
@@ -263,26 +305,60 @@ class MutationManager:
         """
         manager = self
         class_tib = mcr.rc.class_tib
+        tel = self.vm.telemetry
+        cls_name = mcr.class_name
         if len(mcr.instance_slots) == 1:
             slot = mcr.instance_slots[0]
             table1 = {
                 key[0]: tib for key, tib in mcr.tib_by_instance.items()
             }
 
-            def reeval1(obj: Any) -> None:
+            if tel is None:
+
+                def reeval1(obj: Any) -> None:
+                    tib = table1.get(obj.fields[slot], class_tib)
+                    if obj.tib is not tib:
+                        obj.tib = tib
+                        manager.tib_swaps += 1
+
+                reeval1.inline_spec = (  # type: ignore[attr-defined]
+                    "single", mcr.rc, slot, table1, class_tib, manager
+                )
+                return reeval1
+
+            # Instrumented variant: timed, event-emitting, and — on
+            # purpose — without inline_spec, so opt2 code keeps calling
+            # the closure and swaps stay observable.
+            def reeval1_tel(obj: Any) -> None:
+                start = time.perf_counter()
                 tib = table1.get(obj.fields[slot], class_tib)
                 if obj.tib is not tib:
                     obj.tib = tib
                     manager.tib_swaps += 1
+                    if tel.enabled:
+                        manager._record_swap(
+                            tel, start, tib is not class_tib, cls_name
+                        )
 
-            reeval1.inline_spec = (  # type: ignore[attr-defined]
-                "single", mcr.rc, slot, table1, class_tib, manager
-            )
-            return reeval1
+            return reeval1_tel
         slots = tuple(mcr.instance_slots)
         table = mcr.tib_by_instance
 
-        def reeval(obj: Any) -> None:
+        if tel is None:
+
+            def reeval(obj: Any) -> None:
+                fields = obj.fields
+                tib = table.get(
+                    tuple(fields[s] for s in slots), class_tib
+                )
+                if obj.tib is not tib:
+                    obj.tib = tib
+                    manager.tib_swaps += 1
+
+            return reeval
+
+        def reeval_tel(obj: Any) -> None:
+            start = time.perf_counter()
             fields = obj.fields
             tib = table.get(
                 tuple(fields[s] for s in slots), class_tib
@@ -290,11 +366,31 @@ class MutationManager:
             if obj.tib is not tib:
                 obj.tib = tib
                 manager.tib_swaps += 1
+                if tel.enabled:
+                    manager._record_swap(
+                        tel, start, tib is not class_tib, cls_name
+                    )
 
-        return reeval
+        return reeval_tel
+
+    def _record_swap(self, tel: Any, start: float, to_special: bool,
+                     cls_name: str) -> None:
+        seconds = time.perf_counter() - start
+        name = "tib_swap" if to_special else "deopt_to_class_tib"
+        tel.emit(name, cls=cls_name)
+        tel.count(f"mutation.{name}")
+        tel.observe("mutation.swap_seconds", seconds)
 
     def _make_static_hook(self, mcrs: list[MutableClassRuntime]):
+        tel = self.vm.telemetry
+
         def hook(vm: Any, _obj: Any) -> None:
+            if tel is not None and tel.enabled:
+                tel.count("mutation.hooks_fired")
+                tel.emit(
+                    "hook_fired", kind="putstatic",
+                    classes=[m.class_name for m in mcrs],
+                )
             for mcr in mcrs:
                 self.apply_static_state(mcr)
 
@@ -302,6 +398,7 @@ class MutationManager:
 
     def reevaluate_object(self, mcr: MutableClassRuntime, obj: Any) -> None:
         """Swap the object's TIB pointer per its instance state values."""
+        start = time.perf_counter()
         values = mcr.read_instance_values(obj)
         tib = mcr.tib_by_instance.get(values)
         new_tib = tib if tib is not None else mcr.rc.class_tib
@@ -309,6 +406,12 @@ class MutationManager:
             obj.tib = new_tib
             self.tib_swaps += 1
             self.vm.mutation_stats.tib_swaps += 1
+            tel = _tel_maybe(self.vm.telemetry)
+            if tel is not None:
+                self._record_swap(
+                    tel, start, new_tib is not mcr.rc.class_tib,
+                    mcr.class_name,
+                )
 
     def apply_static_state(self, mcr: MutableClassRuntime) -> None:
         """Fig. 4, third clause (also reused by Fig. 5): repoint compiled
@@ -316,6 +419,14 @@ class MutationManager:
         vm = self.vm
         static_values = mcr.read_static_values(vm)
         mcr.current_static_values = static_values
+        tel = _tel_maybe(vm.telemetry)
+        if tel is not None:
+            tel.count("mutation.state_reevals")
+            tel.emit(
+                "state_reeval",
+                cls=mcr.class_name,
+                static_values=list(static_values),
+            )
         for rm in mcr.mutable_rms():
             if not rm.specials:
                 continue
@@ -393,6 +504,15 @@ class MutationManager:
             )
             if key in rm.specials:
                 continue
+            tel = _tel_maybe(vm.telemetry)
+            if tel is not None:
+                tel.emit(
+                    "compile_begin",
+                    method=rm.info.qualified_name,
+                    opt_level=MUTATION_OPT_LEVEL,
+                    special=True,
+                    state=bindings.label,
+                )
             start = time.perf_counter()
             special = vm.opt_compiler.compile(
                 rm, MUTATION_OPT_LEVEL, bindings=bindings
@@ -403,6 +523,28 @@ class MutationManager:
             vm.compile_stats.record_special(
                 seconds, special.code_size_bytes
             )
+            if tel is not None:
+                tel.emit(
+                    "compile_end",
+                    dur=seconds,
+                    method=rm.info.qualified_name,
+                    opt_level=MUTATION_OPT_LEVEL,
+                    special=True,
+                    state=bindings.label,
+                    code_size_bytes=special.code_size_bytes,
+                )
+                tel.emit(
+                    "special_install",
+                    method=rm.info.qualified_name,
+                    state=bindings.label,
+                    code_size_bytes=special.code_size_bytes,
+                )
+                tel.count("mutation.specials_compiled")
+                tel.count(
+                    "compile.special_code_bytes",
+                    special.code_size_bytes,
+                )
+                tel.observe("compile.seconds.special", seconds)
 
     # ------------------------------------------------------------------
 

@@ -47,6 +47,7 @@ from repro.mutation.plan import (
 )
 from repro.mutation.state_fields import derive_state_fields
 from repro.profiling.value_profiler import ClassValueProfile
+from repro.telemetry.core import maybe as _tel_maybe
 
 
 class OnlineMutationController:
@@ -142,6 +143,13 @@ class OnlineMutationController:
         profile = self._profiles.get(obj.tib.type_info.name)
         if profile is None:
             return
+        tel = _tel_maybe(vm.telemetry)
+        if tel is not None:
+            tel.count("online.samples")
+            tel.emit(
+                "hook_fired", kind="online_sample",
+                cls=profile.class_name,
+            )
         name = profile.class_name
         inst = tuple(
             obj.fields[slot] for slot in self._instance_slots[name]
@@ -230,6 +238,17 @@ class OnlineMutationController:
         vm.mutation_manager = self.manager
         self._retrofit_existing_objects()
         self._respecialize_hot_methods()
+        tel = _tel_maybe(vm.telemetry)
+        if tel is not None:
+            tel.emit(
+                "online_activate",
+                samples=self._samples,
+                candidate_classes=len(self._candidates),
+                mutable_classes=len(self.plan.classes),
+            )
+            tel.metrics.gauge("online.samples_at_activation").set(
+                self._samples
+            )
         return self.plan
 
     def _retrofit_existing_objects(self) -> None:

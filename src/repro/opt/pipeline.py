@@ -19,8 +19,11 @@ functions can be compiled with grade specialized to 0, 1, 2, or 3"
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.telemetry.core import maybe as _tel_maybe
 
 from repro.opt.boundselim import eliminate_bounds_checks
 from repro.opt.branchfold import cleanup_cfg
@@ -61,13 +64,29 @@ class OptCompiler:
 
     # ------------------------------------------------------------------
 
+    def _pass(self, name: str, pass_fn, fn) -> int:
+        """Run one optimizer pass, timing it when telemetry is active."""
+        tel = _tel_maybe(self.vm.telemetry)
+        if tel is None:
+            return pass_fn(fn)
+        start = time.perf_counter()
+        result = pass_fn(fn)
+        seconds = time.perf_counter() - start
+        tel.emit(
+            "opt_pass", dur=seconds, opt_pass=name,
+            changed=result if isinstance(result, (int, bool)) else None,
+        )
+        tel.observe(f"opt.pass_seconds.{name}", seconds)
+        return result
+
     def _run_core_pipeline(self, fn) -> None:
+        run = self._pass
         for _ in range(self.config.max_iterations):
-            changed = simplify(fn)
-            changed += local_cse(fn)
-            changed += constant_propagation(fn)
-            changed += cleanup_cfg(fn)
-            changed += dead_code_elimination(fn)
+            changed = run("simplify", simplify, fn)
+            changed += run("cse", local_cse, fn)
+            changed += run("constprop", constant_propagation, fn)
+            changed += run("cleanup_cfg", cleanup_cfg, fn)
+            changed += run("dce", dead_code_elimination, fn)
             if not changed:
                 break
 
@@ -91,16 +110,26 @@ class OptCompiler:
             if snapshot is not None:
                 fn = clone_ir(snapshot)
         if fn is None:
-            fn = lower_method(rm.info)
+            fn = self._pass(
+                "lower", lambda _f: lower_method(rm.info), None
+            )
             if opt_level >= 2:
-                inline_calls(fn, self.vm, rm, self.config.inline)
+                self._pass(
+                    "inline",
+                    lambda f: inline_calls(
+                        f, self.vm, rm, self.config.inline
+                    ),
+                    fn,
+                )
                 self._ir_snapshots[id(rm)] = clone_ir(fn)
         if bindings:
-            specialize_ir(fn, bindings)
+            self._pass(
+                "specialize", lambda f: specialize_ir(f, bindings), fn
+            )
         self._run_core_pipeline(fn)
         if opt_level >= 2:
-            strength_reduce(fn)
-            eliminate_bounds_checks(fn)
+            self._pass("strength", strength_reduce, fn)
+            self._pass("boundselim", eliminate_bounds_checks, fn)
             self._run_core_pipeline(fn)
         return fn
 
@@ -121,7 +150,7 @@ class OptCompiler:
             def executor(vm, args, _fn=fn, _rm=rm):
                 return execute_ir(vm, _rm, _fn, args)
 
-            return OptCompiled(
+            cm = OptCompiled(
                 rm,
                 executor,
                 opt_level=1,
@@ -129,13 +158,20 @@ class OptCompiler:
                 code_size_bytes=fn.instr_count() * IR_INSTR_BYTES,
                 ir=fn,
             )
-        source, executor = generate_python(fn, rm)
-        return OptCompiled(
-            rm,
-            executor,
-            opt_level=2,
-            specialized_state=state_label,
-            code_size_bytes=len(source),
-            ir=fn,
-            source_text=source,
-        )
+        else:
+            source, executor = generate_python(fn, rm)
+            cm = OptCompiled(
+                rm,
+                executor,
+                opt_level=2,
+                specialized_state=state_label,
+                code_size_bytes=len(source),
+                ir=fn,
+                source_text=source,
+            )
+        # Under active telemetry, keep dispatch going through the
+        # counting invoke() even for final-tier methods (the direct
+        # executor binding would make their calls invisible).
+        if _tel_maybe(self.vm.telemetry) is not None:
+            cm.__dict__.pop("invoke", None)
+        return cm

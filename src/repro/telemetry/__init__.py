@@ -1,0 +1,70 @@
+"""repro.telemetry — VM-wide tracing & metrics for JxVM.
+
+The measurement substrate behind the paper's quantitative story (TIB
+swaps, recompilations, code-size / compile-time overheads): a typed
+:class:`EventBus` with ring-buffer retention, a :class:`Metrics`
+registry (counters / gauges / fixed-bucket histograms), and exporters
+for Chrome ``trace_event`` JSON, a flat metrics JSON, and a human text
+report.
+
+Quick tour::
+
+    from repro import VM, compile_source
+    from repro.telemetry import Telemetry, format_text_report
+
+    vm = VM(compile_source(src), telemetry=Telemetry())
+    vm.run()
+    print(format_text_report(vm.telemetry))
+
+or from the shell: ``jx trace salarydb -o trace.json`` (load the file
+in chrome://tracing or https://ui.perfetto.dev) and ``jx stats salarydb``.
+
+Zero-overhead-when-disabled: instrumentation sites check the telemetry
+handle (and its ``enabled`` flag) before constructing any event; see
+the contract note in DESIGN.md and the module docstring of
+:mod:`repro.telemetry.core`.
+"""
+
+from repro.telemetry.core import Telemetry, maybe, set_enabled
+from repro.telemetry.events import (
+    DEFAULT_CAPACITY,
+    EVENT_CATEGORIES,
+    EVENT_NAMES,
+    Event,
+    EventBus,
+)
+from repro.telemetry.export import (
+    format_text_report,
+    to_chrome_trace,
+    to_metrics_json,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "EVENT_CATEGORIES",
+    "EVENT_NAMES",
+    "TIME_BUCKETS",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "Telemetry",
+    "format_text_report",
+    "maybe",
+    "set_enabled",
+    "to_chrome_trace",
+    "to_metrics_json",
+    "write_chrome_trace",
+]

@@ -1,0 +1,101 @@
+"""The Telemetry facade one VM (or harness run) carries around.
+
+Overhead contract (verified by ``benchmarks/test_telemetry_overhead.py``):
+
+* a VM constructed without telemetry holds ``vm.telemetry is None``;
+  every instrumentation site is guarded by ``tel is not None`` (and
+  ``tel.enabled``) *before any event or argument is constructed*, so
+  the disabled cost is one attribute load + identity check on paths
+  that are already function-call heavy — and literally zero on the
+  interpreter's inner dispatch loop, which is never touched;
+* the module-level :data:`enabled` flag is a global kill switch: when
+  False, ``Telemetry.enabled`` reads False everywhere, newly built
+  mutation hooks compile to their uninstrumented fast forms, and
+  :func:`maybe` returns None so shared code paths skip telemetry
+  wholesale without consulting per-VM state.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any
+
+from repro.telemetry.events import DEFAULT_CAPACITY, EventBus
+from repro.telemetry.metrics import Metrics, TIME_BUCKETS
+
+#: Module-level master switch, checked before event construction.
+enabled: bool = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the module-level master switch (affects every Telemetry)."""
+    global enabled
+    enabled = flag
+
+
+def maybe(telemetry: "Telemetry | None") -> "Telemetry | None":
+    """``telemetry`` if it is active, else None — the one-line guard
+    shared code paths use: ``tel = maybe(vm.telemetry)``."""
+    if telemetry is not None and enabled and telemetry._enabled:
+        return telemetry
+    return None
+
+
+class Telemetry:
+    """Event bus + metrics registry + the per-instance enabled flag."""
+
+    def __init__(self, enabled: bool = True,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self._enabled = enabled
+        self.bus = EventBus(capacity)
+        self.metrics = Metrics()
+
+    @property
+    def enabled(self) -> bool:
+        """True only when both this instance and the module switch are on."""
+        return self._enabled and enabled
+
+    @enabled.setter
+    def enabled(self, flag: bool) -> None:
+        self._enabled = flag
+
+    # ------------------------------------------------------------------
+    # Emission shorthands (callers must have checked ``enabled``)
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, dur: float | None = None,
+             **args: Any) -> None:
+        self.bus.emit(name, dur=dur, **args)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def observe(self, name: str, value: float,
+                bounds: tuple = TIME_BUCKETS) -> None:
+        self.metrics.histogram(name, bounds).observe(value)
+
+    @contextmanager
+    def span(self, name: str, **args: Any):
+        """Time a block; emits one duration event when it exits."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.bus.emit(
+                name, dur=time.perf_counter() - start, **args
+            )
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Metrics snapshot plus event totals (the flat JSON dump)."""
+        out = self.metrics.snapshot()
+        out["events"] = {
+            "total": self.bus.total_emitted,
+            "retained": len(self.bus.events()),
+            "dropped": self.bus.dropped,
+            "capacity": self.bus.capacity,
+            "by_name": self.bus.counts_by_name(),
+        }
+        return out

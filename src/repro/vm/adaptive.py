@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.telemetry.core import maybe as _tel_maybe
+from repro.telemetry.metrics import COUNT_BUCKETS
 from repro.vm.compiled import NEVER
 
 
@@ -118,6 +120,23 @@ class AdaptiveSystem:
         accelerated = rm.info.qualified_name in cfg.accelerated
         next_level = cfg.max_opt_level if accelerated else current + 1
         next_level = min(next_level, cfg.max_opt_level)
+        tel = _tel_maybe(self.vm.telemetry)
+        if tel is not None:
+            tel.emit(
+                "tier_promote",
+                method=rm.info.qualified_name,
+                from_level=current,
+                to_level=next_level,
+                ticks=rm.samples.ticks,
+                invocations=rm.samples.invocations,
+                accelerated=accelerated,
+            )
+            tel.count(f"adaptive.promotions.opt{next_level}")
+            tel.observe(
+                "adaptive.ticks_at_promotion",
+                rm.samples.ticks,
+                bounds=COUNT_BUCKETS,
+            )
         # Bump the threshold *before* compiling so nested invocations of
         # this method during compilation cannot re-enter.
         if next_level >= cfg.max_opt_level:
@@ -130,7 +149,15 @@ class AdaptiveSystem:
         """Compile ``rm`` at ``opt_level``, install, notify listeners."""
         vm = self.vm
         self._compiling = True
+        tel = _tel_maybe(vm.telemetry)
         try:
+            if tel is not None:
+                tel.emit(
+                    "compile_begin",
+                    method=rm.info.qualified_name,
+                    opt_level=opt_level,
+                    special=False,
+                )
             start = time.perf_counter()
             new_cm = vm.opt_compiler.compile(rm, opt_level)
             seconds = time.perf_counter() - start
@@ -144,6 +171,20 @@ class AdaptiveSystem:
                     num_versions=1,
                 )
             )
+            if tel is not None:
+                tel.emit(
+                    "compile_end",
+                    dur=seconds,
+                    method=rm.info.qualified_name,
+                    opt_level=opt_level,
+                    special=False,
+                    code_size_bytes=new_cm.code_size_bytes,
+                )
+                tel.count(f"compile.count.opt{opt_level}")
+                tel.count(
+                    "compile.code_bytes", new_cm.code_size_bytes
+                )
+                tel.observe(f"compile.seconds.opt{opt_level}", seconds)
             vm.installer.install_general(rm, new_cm)
             for listener in self.recompile_listeners:
                 listener(rm, opt_level)

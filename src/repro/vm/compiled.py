@@ -98,7 +98,17 @@ class BaselineCompiled(CompiledMethod):
         samples.ticks += ENTRY_TICKS
         if samples.ticks >= samples.threshold:
             vm.adaptive.on_hot(rm)
-        result = interpret(vm, rm, args)
+        tel = vm.telemetry
+        if tel is not None and tel.enabled:
+            # Interpreter-tick accounting: entry ticks here, backedge
+            # ticks as the delta accumulated while interpreting.
+            tel.count("dispatch.opt0")
+            before = samples.ticks
+            result = interpret(vm, rm, args)
+            tel.count("interp.ticks",
+                      ENTRY_TICKS + samples.ticks - before)
+        else:
+            result = interpret(vm, rm, args)
         hook = rm.ctor_exit_hook
         if hook is not None:
             hook(vm, args[0])
@@ -146,6 +156,9 @@ class OptCompiled(CompiledMethod):
             samples.ticks += ENTRY_TICKS
             if samples.ticks >= samples.threshold:
                 vm.adaptive.on_hot(rm)
+        tel = vm.telemetry
+        if tel is not None and tel.enabled:
+            tel.count(f"dispatch.opt{self.opt_level}")
         try:
             result = self.executor(vm, args)
         except Exception as exc:  # annotate the VM stack trace

@@ -99,6 +99,9 @@ def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
     stack: list[Any] = []
     samples = rm.samples
     adaptive = vm.adaptive
+    tel = vm.telemetry
+    if tel is not None and tel.enabled:
+        tel.count("interp.frames")
     pc = 0
     try:
         while True:
@@ -357,6 +360,8 @@ def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
         trace.frames.append(_frame_desc(rm, code, pc))
         raise
     except VMRuntimeError as exc:
+        if tel is not None and tel.enabled:
+            tel.count("interp.errors")
         raise JxStackTrace(exc, [_frame_desc(rm, code, pc)]) from exc
 
 

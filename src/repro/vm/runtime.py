@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bytecode.classfile import ProgramUnit
+from repro.telemetry.core import maybe as _tel_maybe
 from repro.vm.adaptive import AdaptiveConfig, AdaptiveSystem, CompileStats
 from repro.vm.heap import HeapStats
 from repro.vm.installer import CodeInstaller
@@ -63,10 +64,19 @@ class VM:
         mutation_plan: Any = None,
         adaptive_config: AdaptiveConfig | None = None,
         seed: int = 42,
+        telemetry: Any = None,
     ) -> None:
         if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         self.unit = program
+        # Telemetry attaches before any subsystem so the mutation
+        # manager's hooks can bake instrumentation in at build time;
+        # ``True`` means "give me a default-configured Telemetry".
+        if telemetry is True:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        self.telemetry = telemetry
         self.heap = HeapStats()
         self.intrinsic_ctx = IntrinsicContext(seed)
         self.linker = Linker(program)
@@ -149,6 +159,17 @@ class VM:
             self.unit.entry_class, self.unit.entry_method, []
         )
         wall = time.perf_counter() - start
+        tel = _tel_maybe(self.telemetry)
+        if tel is not None:
+            tel.emit(
+                "vm_run",
+                dur=wall,
+                entry=f"{self.unit.entry_class}.{self.unit.entry_method}",
+            )
+            tel.metrics.gauge("vm.wall_seconds").set(wall)
+            tel.metrics.gauge("vm.compile_seconds").set(
+                self.compile_stats.total_seconds - start_compile
+            )
         return RunResult(
             value=value,
             output=self.output,
