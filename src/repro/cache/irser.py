@@ -1,0 +1,145 @@
+"""IR serialization for the opt1 cache tier.
+
+opt1 methods execute as optimized IR under the IR interpreter, so their
+cache artifact is the post-pipeline IR itself, serialized with the same
+symbolic-reference discipline as the opt2 pin table: runtime objects in
+:class:`~repro.opt.ir.Extra` payloads (classes, methods, JTOC cells,
+intrinsics, mutation hooks) are stored as descriptors and re-resolved
+against the loading VM (:func:`repro.cache.artifact.resolve_pin`).
+
+A hit skips lowering and the whole pass pipeline — deserialization is a
+flat rebuild of blocks and instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cache.artifact import (
+    UnlinkableArtifact,
+    decode_value,
+    encode_value,
+    hook_ref,
+    resolve_pin,
+)
+from repro.opt.ir import Block, Const, Extra, IRFunction, IRInstr, Reg
+
+#: Extra fields that serialize as plain JSON values.
+_PLAIN_FIELDS = (
+    "slot", "key", "offset", "elem", "bounds", "returns",
+    "target", "if_true", "if_false", "name",
+)
+
+
+def _encode_extra(ex: Extra) -> dict:
+    out: dict[str, Any] = {}
+    for fname in _PLAIN_FIELDS:
+        value = getattr(ex, fname)
+        if value != Extra.__dataclass_fields__[fname].default:
+            out[fname] = value
+    if ex.hook is not None:
+        ref = hook_ref(ex.hook)
+        if ref is None:
+            raise UnlinkableArtifact("hook without a cache_ref")
+        out["hook"] = ref
+    if ex.rc is not None:
+        out["rc"] = ["class", ex.rc.name]
+    if ex.rm is not None:
+        out["rm"] = ["method", ex.rm.rclass.name, ex.rm.info.key]
+    if ex.cell is not None:
+        cls, _, key = ex.cell.qualified_name.partition(".")
+        out["cell"] = ["cell", cls, key]
+    if ex.intrinsic is not None:
+        out["intrinsic"] = ["intrinsic", ex.intrinsic.name]
+    if ex.fill is not None:
+        out["fill"] = encode_value(ex.fill)
+    return out
+
+
+def _decode_extra(vm: Any, data: dict) -> Extra:
+    ex = Extra()
+    for fname in _PLAIN_FIELDS:
+        if fname in data:
+            setattr(ex, fname, data[fname])
+    if "hook" in data:
+        ex.hook = resolve_pin(vm, data["hook"])
+    if "rc" in data:
+        ex.rc = resolve_pin(vm, data["rc"])
+    if "rm" in data:
+        ex.rm = resolve_pin(vm, data["rm"])
+    if "cell" in data:
+        ex.cell = resolve_pin(vm, data["cell"])
+    if "intrinsic" in data:
+        from repro.vm.intrinsics import INTRINSICS
+
+        ex.intrinsic = INTRINSICS[data["intrinsic"][1]]
+    if "fill" in data:
+        ex.fill = decode_value(data["fill"])
+    return ex
+
+
+def _encode_operand(operand: Any) -> Any:
+    if isinstance(operand, Reg):
+        return {"r": operand.name}
+    return {"c": encode_value(operand.value)}
+
+
+def _decode_operand(data: dict) -> Any:
+    if "r" in data:
+        return Reg(data["r"])
+    return Const(decode_value(data["c"]))
+
+
+def ir_to_dict(fn: IRFunction) -> dict:
+    """Serialize post-pipeline IR; raises
+    :class:`UnlinkableArtifact` on anything non-symbolic."""
+    blocks = {}
+    for block in fn.blocks.values():
+        blocks[str(block.id)] = [
+            {
+                "op": instr.op,
+                "dest": instr.dest.name if instr.dest is not None else None,
+                "args": [_encode_operand(a) for a in instr.args],
+                "extra": _encode_extra(instr.extra),
+                "line": instr.line,
+            }
+            for instr in block.instrs
+        ]
+    return {
+        "name": fn.name,
+        "num_args": fn.num_args,
+        "max_locals": fn.max_locals,
+        "returns_value": fn.returns_value,
+        "entry": fn.entry,
+        "next_block_id": fn._next_block_id,
+        "param_kinds": list(fn.param_kinds),
+        "blocks": blocks,
+    }
+
+
+def ir_from_dict(vm: Any, data: dict) -> IRFunction:
+    """Rebuild an IRFunction, re-resolving runtime references against
+    ``vm``."""
+    fn = IRFunction(
+        data["name"], data["num_args"], data["max_locals"],
+        data["returns_value"],
+    )
+    fn.entry = data["entry"]
+    fn._next_block_id = data["next_block_id"]
+    fn.param_kinds = list(data["param_kinds"])
+    for bid_text, instrs in data["blocks"].items():
+        bid = int(bid_text)
+        block = Block(bid)
+        for idata in instrs:
+            dest = Reg(idata["dest"]) if idata["dest"] is not None else None
+            block.instrs.append(
+                IRInstr(
+                    idata["op"],
+                    dest,
+                    [_decode_operand(a) for a in idata["args"]],
+                    _decode_extra(vm, idata["extra"]),
+                    idata["line"],
+                )
+            )
+        fn.blocks[bid] = block
+    return fn

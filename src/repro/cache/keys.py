@@ -1,0 +1,147 @@
+"""Cache-key construction: stable digests over everything that can
+change generated code.
+
+Invalidation is correct by construction (the tentpole requirement):
+a compile key commits to
+
+* the **whole program's bytecode** — opt2 inlines callees transitively,
+  so a method's generated code can depend on any other method's body;
+  hashing the full linked unit (class set, supertypes, field layouts,
+  method bytecode) is the conservative closure;
+* the **method identity** (declaring class + method key) and **opt
+  tier**;
+* the **specialization bindings** (state-field slots and values, per
+  :class:`~repro.opt.specialize.SpecBindings`);
+* the **opt-pass configuration** (every :class:`OptConfig` /
+  :class:`InlineConfig` field);
+* the **mutation environment** — the full mutation plan (hooked fields,
+  hot states, lifetime constants, trade-off constants) plus whether
+  telemetry is attached, both of which select different hook closures
+  and therefore different generated source.
+
+The VM-version stamp is *not* part of the per-entry key: it is baked
+into the cache directory name (see :mod:`repro.cache.store`), so a
+version upgrade busts the whole cache at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 over a canonical JSON rendering of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Program / method digests
+# ---------------------------------------------------------------------------
+
+def _method_payload(minfo: Any) -> list:
+    return [
+        minfo.key,
+        minfo.is_static,
+        minfo.access,
+        minfo.is_abstract,
+        [str(t) for t in minfo.param_types],
+        str(minfo.return_type),
+        minfo.max_locals,
+        [[instr.op.name, repr(instr.arg)] for instr in minfo.code],
+    ]
+
+
+def _class_payload(cinfo: Any) -> list:
+    return [
+        cinfo.name,
+        cinfo.super_name or "",
+        sorted(cinfo.interface_names),
+        cinfo.is_interface,
+        [
+            [f.name, str(f.type), f.is_static, f.access]
+            for f in cinfo.fields.values()
+        ],
+        [_method_payload(m) for m in cinfo.methods.values()],
+    ]
+
+
+def program_digest(unit: Any) -> str:
+    """Digest of the whole program: any bytecode, field, or hierarchy
+    change anywhere produces a different digest (inlining closure)."""
+    payload = [
+        [unit.entry_class, unit.entry_method],
+        sorted(
+            (_class_payload(c) for c in unit.classes.values()),
+            key=lambda row: row[0],
+        ),
+    ]
+    return stable_digest(payload)
+
+
+def method_digest(minfo: Any) -> str:
+    """Per-method bytecode digest (diagnostics + key-splitting tests)."""
+    return stable_digest(_method_payload(minfo))
+
+
+# ---------------------------------------------------------------------------
+# Bindings / config / environment digests
+# ---------------------------------------------------------------------------
+
+def bindings_payload(bindings: Any) -> list:
+    """Defer to :meth:`SpecBindings.cache_key_payload` — the bindings
+    type owns the statement of which of its parts affect codegen."""
+    if not bindings:
+        return []
+    return bindings.cache_key_payload()
+
+
+def opt_config_payload(config: Any) -> dict:
+    return {
+        "max_iterations": config.max_iterations,
+        "inline": asdict(config.inline),
+    }
+
+
+def environment_payload(vm: Any) -> dict:
+    """The VM-construction facts that steer codegen besides bytecode:
+    the mutation plan (hooks, hot states, lifetime constants) and
+    telemetry attachment (selects instrumented hook closures and
+    disables the inline-swap fast path)."""
+    manager = getattr(vm, "mutation_manager", None)
+    plan_dict = None
+    if manager is not None:
+        from repro.profiling.reports import plan_to_dict
+
+        plan_dict = plan_to_dict(manager.plan)
+        plan_dict["k"] = manager.plan.config.k
+    return {
+        "plan": plan_dict,
+        "telemetry": vm.telemetry is not None,
+    }
+
+
+def compile_key(
+    vm: Any,
+    rm: Any,
+    opt_level: int,
+    bindings: Any,
+    config: Any,
+    program_dig: str | None = None,
+) -> str:
+    """The cache key for one (method, tier, bindings) compile request."""
+    payload = {
+        "program": program_dig or program_digest(vm.unit),
+        "class": rm.rclass.name,
+        "method": rm.info.key,
+        "method_code": method_digest(rm.info),
+        "opt_level": opt_level,
+        "bindings": bindings_payload(bindings),
+        "opt_config": opt_config_payload(config),
+        "env": environment_payload(vm),
+    }
+    return stable_digest(payload)

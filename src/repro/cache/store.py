@@ -1,0 +1,199 @@
+"""The persistent compile-cache store.
+
+Layout::
+
+    <cache root>/
+        v<schema>-<repro version>-<cpython cache tag>/   # the "stamp"
+            ab/                                          # key[:2] shard
+                ab3f...e1.json                           # one entry
+
+The stamp directory bakes the cache schema version, the repro package
+version, and the CPython bytecode tag into the path, so upgrading any
+of them busts the whole cache without touching individual keys (stale
+stamps are ignored by lookups and removed by ``clear``).
+
+Each entry is a JSON document ``{"key", "meta", "artifact_sha",
+"artifact"}``; ``artifact_sha`` is verified on load, so a truncated or
+hand-poisoned file is detected and treated as a miss (the poisoning
+tests assert a recompile, never a mis-link).
+
+Writes are atomic (temp file + ``os.replace``) so concurrent VMs
+sharing a cache directory can only ever observe complete entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+from repro.cache.keys import compile_key, program_digest, stable_digest
+
+#: Bump when the artifact or key format changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def cache_stamp() -> str:
+    """The versioned subdirectory name for entries this build can use."""
+    return f"v{SCHEMA_VERSION}-{__version__}-{sys.implementation.cache_tag}"
+
+
+class CompileCache:
+    """A file-backed, cross-VM-instance compile cache.
+
+    One instance may serve many VMs (or many instances may share one
+    directory); all persistent state lives in the filesystem and all
+    in-memory state is counters.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.dir = self.root / cache_stamp()
+        # Session counters (per CompileCache instance, not persisted).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.link_errors = 0
+        self.uncacheable = 0
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(self, vm: Any, rm: Any, opt_level: int,
+                bindings: Any, config: Any) -> str:
+        digest = getattr(vm.unit, "_jxcache_program_digest", None)
+        if digest is None:
+            digest = program_digest(vm.unit)
+            vm.unit._jxcache_program_digest = digest
+        return compile_key(vm, rm, opt_level, bindings, config,
+                           program_dig=digest)
+
+    def _path(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    # -- entry I/O ----------------------------------------------------------
+
+    def load(self, key: str) -> dict | None:
+        """Return the entry's artifact dict, or None for a miss.
+
+        Every failure mode — absent file, malformed JSON, wrong key,
+        checksum mismatch — is a miss; a stale or corrupt entry is
+        never linked.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        artifact = entry.get("artifact")
+        if artifact is None:
+            return None
+        if entry.get("artifact_sha") != stable_digest(artifact):
+            return None
+        return artifact
+
+    def store(self, key: str, artifact: dict, meta: dict) -> None:
+        """Atomically persist one entry (best-effort: cache I/O errors
+        never fail a compile)."""
+        path = self._path(key)
+        entry = {
+            "key": key,
+            "meta": meta,
+            "artifact_sha": stable_digest(artifact),
+            "artifact": artifact,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
+        except OSError:
+            pass
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry (all stamps, including stale ones);
+        returns the number of entry files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for stamp_dir in list(self.root.iterdir()):
+                if not stamp_dir.is_dir() or not stamp_dir.name.startswith("v"):
+                    continue
+                removed += sum(
+                    1 for _ in stamp_dir.glob("*/*.json")
+                )
+                shutil.rmtree(stamp_dir, ignore_errors=True)
+        return removed
+
+    def stats(self) -> dict:
+        """Aggregate persistent + session statistics."""
+        entries = 0
+        total_bytes = 0
+        by_tier: dict[str, int] = {}
+        stale_entries = 0
+        if self.root.is_dir():
+            for stamp_dir in self.root.iterdir():
+                if not stamp_dir.is_dir():
+                    continue
+                current = stamp_dir.name == self.dir.name
+                for path in stamp_dir.glob("*/*.json"):
+                    if not current:
+                        stale_entries += 1
+                        continue
+                    entries += 1
+                    try:
+                        total_bytes += path.stat().st_size
+                        with open(path, encoding="utf-8") as handle:
+                            meta = json.load(handle).get("meta", {})
+                        tier = "special" if meta.get("special") else (
+                            f"opt{meta.get('opt_level', '?')}"
+                        )
+                        by_tier[tier] = by_tier.get(tier, 0) + 1
+                    except (OSError, ValueError):
+                        continue
+        lookups = self.hits + self.misses
+        return {
+            "dir": str(self.dir),
+            "entries": entries,
+            "stale_entries": stale_entries,
+            "bytes": total_bytes,
+            "by_tier": by_tier,
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "link_errors": self.link_errors,
+                "uncacheable": self.uncacheable,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            },
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return (self.hits / lookups) if lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompileCache {self.dir} hits={self.hits} "
+            f"misses={self.misses}>"
+        )

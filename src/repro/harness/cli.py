@@ -19,12 +19,21 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.lang import compile_source
+from repro.lang.errors import JxError
 from repro.mutation import build_mutation_plan
 from repro.vm.runtime import VM
+from repro.vm.values import VMRuntimeError
 from repro.workloads.registry import all_workloads, get_workload
+
+
+def _cache_dir(args: argparse.Namespace) -> str | None:
+    """The compile-cache directory: ``--cache-dir`` or JX_CACHE_DIR."""
+    return getattr(args, "cache_dir", None) or \
+        os.environ.get("JX_CACHE_DIR") or None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -34,12 +43,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     plan = None
     if args.mutate:
         plan = build_mutation_plan(source)
-    vm = VM(unit, mutation_plan=plan)
+    vm = VM(unit, mutation_plan=plan, compile_cache=_cache_dir(args))
     result = vm.run()
     sys.stdout.write(result.output)
     if args.stats:
-        print(f"--- wall: {result.wall_seconds:.3f}s "
-              f"compile: {result.compile_seconds:.3f}s", file=sys.stderr)
+        line = (f"--- wall: {result.wall_seconds:.3f}s "
+                f"compile: {result.compile_seconds:.3f}s")
+        if vm.compile_cache is not None:
+            cache = vm.compile_cache
+            line += (f" cache: {cache.hits} hits / {cache.misses} misses"
+                     f" ({vm.compile_stats.cached_methods} methods"
+                     f" warm-linked)")
+        print(line, file=sys.stderr)
     return 0
 
 
@@ -79,8 +94,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
 
     spec = get_workload(args.workload)
+    cache_dir = _cache_dir(args)
     comparison = compare_workload(
-        spec, repeats=args.repeats, telemetry=not args.no_telemetry
+        spec, repeats=args.repeats, telemetry=not args.no_telemetry,
+        cache=cache_dir,
     )
     print(f"{spec.name}: baseline {comparison.baseline.wall_seconds:.3f}s, "
           f"mutated {comparison.mutated.wall_seconds:.3f}s, "
@@ -111,6 +128,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"  hooks fired      baseline {base['hooks_fired']}, "
               f"mutated {mut['hooks_fired']}; "
               f"specials compiled: {mut['specials_compiled']}")
+    if cache_dir is not None:
+        b, m = comparison.baseline, comparison.mutated
+        hits = b.cache_hits + m.cache_hits
+        lookups = hits + b.cache_misses + m.cache_misses
+        rate = hits / lookups if lookups else 0.0
+        print(f"  compile cache    hit rate {rate:.0%} "
+              f"({hits}/{lookups} lookups) in {cache_dir}")
+        print(f"  warm vs cold     baseline "
+              f"{b.cold_compile_seconds:.3f}s -> "
+              f"{b.warm_compile_seconds:.3f}s compile; mutated "
+              f"{m.cold_compile_seconds:.3f}s -> "
+              f"{m.warm_compile_seconds:.3f}s")
+    if not comparison.outputs_match:
+        print(f"jx compare: {spec.name}: baseline and mutated outputs "
+              f"differ", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -137,7 +170,8 @@ def _run_instrumented(args: argparse.Namespace):
         entry_class=spec.entry_class,
         entry_method=spec.entry_method,
     )
-    vm = _VM(unit, mutation_plan=plan, telemetry=telemetry)
+    vm = _VM(unit, mutation_plan=plan, telemetry=telemetry,
+             compile_cache=_cache_dir(args))
     result = vm.run()
     return spec, vm, result, telemetry
 
@@ -162,6 +196,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(format_text_report(
         telemetry, title=f"JxVM telemetry: {spec.name}"
     ))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import CompileCache
+
+    directory = _cache_dir(args)
+    if directory is None:
+        print("jx cache: no cache directory (pass --cache-dir or set "
+              "JX_CACHE_DIR)", file=sys.stderr)
+        return 2
+    cache = CompileCache(directory)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir    {stats['dir']}")
+    print(f"entries      {stats['entries']} "
+          f"({stats['bytes']} bytes; {stats['stale_entries']} stale "
+          f"from other VM versions)")
+    tiers = " ".join(
+        f"{tier}={count}" for tier, count in sorted(
+            stats["by_tier"].items()
+        )
+    ) or "-"
+    print(f"by tier      {tiers}")
     return 0
 
 
@@ -211,11 +272,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    cache_help = ("persistent compile-cache directory "
+                  "(default: $JX_CACHE_DIR)")
+
     p = sub.add_parser("run", help="compile and run a Jx source file")
     p.add_argument("file")
     p.add_argument("--mutate", action="store_true",
                    help="run the offline pipeline and enable mutation")
     p.add_argument("--stats", action="store_true")
+    p.add_argument("--cache-dir", default=None, help=cache_help)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("disasm", help="disassemble a Jx source file")
@@ -235,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--repeats", type=int, default=2)
     p.add_argument("--no-telemetry", action="store_true",
                    help="skip the telemetry summary (slightly faster)")
+    p.add_argument("--cache-dir", default=None, help=cache_help)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser(
@@ -249,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="run without a mutation plan")
     p.add_argument("--capacity", type=int, default=65536,
                    help="event ring-buffer capacity")
+    p.add_argument("--cache-dir", default=None, help=cache_help)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -262,7 +329,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="run without a mutation plan")
     p.add_argument("--capacity", type=int, default=65536,
                    help="event ring-buffer capacity")
+    p.add_argument("--cache-dir", default=None, help=cache_help)
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent compile cache"
+    )
+    p.add_argument("cache_command", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default=None, help=cache_help)
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.set_defaults(fn=_cmd_table1)
@@ -272,7 +347,13 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_fig)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (VMRuntimeError, JxError, OSError) as exc:
+        # Workload/compile/IO failures exit nonzero (they used to be
+        # unhandled or swallowed into exit code 0).
+        print(f"jx: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

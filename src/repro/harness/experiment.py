@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.lang import compile_source
@@ -42,6 +43,20 @@ class Measurement:
     #: Telemetry summary (counters/gauges/histograms/events) of the
     #: best run's VM, when the run was telemetry-instrumented.
     telemetry_report: dict | None = None
+    #: Compile-cache session counters, aggregated over every VM this
+    #: measurement created (zero when no cache was attached).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: First-repeat vs last-repeat compile seconds: with a shared cache
+    #: the first VM populates and later VMs warm-start, so these are the
+    #: cold and warm compile costs of the same workload.
+    cold_compile_seconds: float = 0.0
+    warm_compile_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return (self.cache_hits / lookups) if lookups else 0.0
 
     @property
     def compile_fraction(self) -> float:
@@ -63,6 +78,17 @@ def _adaptive_config(
     return AdaptiveConfig(accelerated=accel)
 
 
+def _as_cache(cache: Any) -> Any:
+    """Normalize a cache argument (CompileCache | directory | None) to a
+    single shared CompileCache instance, so session counters aggregate
+    across every VM of one measurement."""
+    if cache is None or not isinstance(cache, (str, Path)):
+        return cache
+    from repro.cache import CompileCache
+
+    return CompileCache(cache)
+
+
 def run_workload(
     spec: WorkloadSpec,
     plan: MutationPlan | None = None,
@@ -71,18 +97,25 @@ def run_workload(
     seed: int = 42,
     scale: float | None = None,
     telemetry: bool = False,
+    cache: Any = None,
 ) -> Measurement:
     """Run one workload configuration; returns the best-of-N measurement.
 
     ``telemetry=True`` attaches a fresh :class:`~repro.telemetry.Telemetry`
     to every VM and reports the last run's summary — instrumented runs
     carry a small overhead, so compare only like against like.
+
+    ``cache`` (a :class:`~repro.cache.CompileCache` or a directory)
+    attaches the persistent compile cache to every VM: the first repeat
+    populates it, later repeats warm-start.
     """
     source = spec.source(scale if scale is not None else spec.bench_scale)
+    cache = _as_cache(cache)
     best_wall = float("inf")
     vm: VM | None = None
     output = ""
-    for _ in range(max(1, repeats)):
+    cold_compile = warm_compile = 0.0
+    for index in range(max(1, repeats)):
         unit = compile_source(
             source,
             filename=f"<{spec.name}>",
@@ -95,10 +128,14 @@ def run_workload(
             adaptive_config=_adaptive_config(plan, accelerated),
             seed=seed,
             telemetry=telemetry or None,
+            compile_cache=cache,
         )
         result = vm.run()
         output = result.output
         best_wall = min(best_wall, result.wall_seconds)
+        if index == 0:
+            cold_compile = vm.compile_stats.total_seconds
+        warm_compile = vm.compile_stats.total_seconds
     assert vm is not None
     stats = vm.compile_stats
     manager = vm.mutation_manager
@@ -120,6 +157,10 @@ def run_workload(
         output=output,
         objects_allocated=vm.heap.objects_allocated,
         telemetry_report=report,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        cold_compile_seconds=cold_compile,
+        warm_compile_seconds=warm_compile,
     )
 
 
@@ -205,12 +246,17 @@ def compare_workload(
     seed: int = 42,
     plan: MutationPlan | None = None,
     telemetry: bool = False,
+    cache: Any = None,
 ) -> Comparison:
     """Full offline pipeline + measured on/off comparison.
 
     Baseline and mutated runs are interleaved so machine-load drift
     affects both sides equally; best-of-N is kept per side (the paper's
-    "best repeatable result" protocol, §6).
+    "best repeatable result" protocol, §6).  With ``cache`` (a
+    :class:`~repro.cache.CompileCache` or directory), every VM of both
+    sides shares one compile cache: the first repeat runs cold and the
+    rest warm-start, and the per-side Measurements carry hit counts and
+    cold/warm compile seconds.
     """
     if plan is None:
         plan = build_mutation_plan(
@@ -220,18 +266,44 @@ def compare_workload(
             config=config,
             seed=seed,
         )
+    cache = _as_cache(cache)
     baseline: Measurement | None = None
     mutated: Measurement | None = None
-    for _ in range(max(1, repeats)):
+    base_cold = mut_cold = base_warm = mut_warm = 0.0
+    base_hits = base_misses = mut_hits = mut_misses = 0
+    for index in range(max(1, repeats)):
+        # The shared cache's session counters are zeroed before each
+        # side so each Measurement reports its own lookups only.
+        if cache is not None:
+            cache.hits = cache.misses = 0
         b = run_workload(spec, None, repeats=1, seed=seed,
-                         telemetry=telemetry)
+                         telemetry=telemetry, cache=cache)
+        if cache is not None:
+            cache.hits = cache.misses = 0
         m = run_workload(spec, plan, repeats=1, seed=seed,
-                         telemetry=telemetry)
+                         telemetry=telemetry, cache=cache)
+        if cache is not None:
+            if index == 0:
+                base_cold = b.cold_compile_seconds
+                mut_cold = m.cold_compile_seconds
+            base_hits += b.cache_hits
+            base_misses += b.cache_misses
+            mut_hits += m.cache_hits
+            mut_misses += m.cache_misses
+            base_warm = b.warm_compile_seconds
+            mut_warm = m.warm_compile_seconds
         if baseline is None or b.wall_seconds < baseline.wall_seconds:
             baseline = b
         if mutated is None or m.wall_seconds < mutated.wall_seconds:
             mutated = m
     assert baseline is not None and mutated is not None
+    if cache is not None:
+        baseline.cache_hits, baseline.cache_misses = base_hits, base_misses
+        mutated.cache_hits, mutated.cache_misses = mut_hits, mut_misses
+        baseline.cold_compile_seconds = base_cold
+        mutated.cold_compile_seconds = mut_cold
+        baseline.warm_compile_seconds = base_warm
+        mutated.warm_compile_seconds = mut_warm
     return Comparison(
         workload=spec.name, baseline=baseline, mutated=mutated, plan=plan
     )

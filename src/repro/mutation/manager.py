@@ -104,6 +104,11 @@ class MutationManager:
         self.tib_swaps = 0
         self.special_versions_compiled = 0
         self._attached = False
+        #: Hook registries, keyed symbolically so cached compiled code
+        #: can re-link against this VM's hooks (repro.cache).
+        self._instance_hook: Any = None
+        self.static_hooks: dict[str, Any] = {}
+        self.ctor_hooks: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Startup
@@ -181,6 +186,15 @@ class MutationManager:
                 static.setdefault(spec.key, []).append(mcr)
         return instance, static
 
+    def instance_state_hook(self):
+        """The shared PUTFIELD state hook (one per manager; it already
+        dispatches on the written object's exact class)."""
+        if self._instance_hook is None:
+            hook = self._make_instance_hook()
+            hook.cache_ref = ("instance_hook",)  # type: ignore[attr-defined]
+            self._instance_hook = hook
+        return self._instance_hook
+
     def _install_field_hooks(self) -> None:
         instance_keys, static_keys = self._state_field_keys()
         unit = self.vm.unit
@@ -193,14 +207,21 @@ class MutationManager:
                     finfo = unit.lookup_field(cls_name, field_name)
                     key = f"{finfo.declaring_class}.{finfo.name}"
                     if key in instance_keys:
-                        instr.state_hook = self._make_instance_hook()
+                        instr.state_hook = self.instance_state_hook()
                 elif instr.op is Op.PUTSTATIC:
                     cls_name, field_name = instr.arg
                     finfo = unit.lookup_field(cls_name, field_name)
                     key = f"{finfo.declaring_class}.{finfo.name}"
                     mcrs = static_keys.get(key)
                     if mcrs:
-                        instr.state_hook = self._make_static_hook(mcrs)
+                        hook = self.static_hooks.get(key)
+                        if hook is None:
+                            hook = self._make_static_hook(mcrs)
+                            hook.cache_ref = (  # type: ignore[attr-defined]
+                                "static_hook", key
+                            )
+                            self.static_hooks[key] = hook
+                        instr.state_hook = hook
 
     def _install_ctor_hooks(self) -> None:
         """Fig. 4, first clause: at the end of the constructors of a
@@ -237,6 +258,10 @@ class MutationManager:
             spec = getattr(reeval, "inline_spec", None)
             if spec is not None:
                 ctor_hook.inline_spec = spec  # type: ignore[attr-defined]
+            ctor_hook.cache_ref = (  # type: ignore[attr-defined]
+                "ctor_hook", rc.name
+            )
+            self.ctor_hooks[rc.name] = ctor_hook
             for rm in mcr.rc.own_methods.values():
                 if rm.info.is_constructor:
                     rm.ctor_exit_hook = ctor_hook

@@ -25,6 +25,12 @@ from typing import Any
 
 from repro.telemetry.core import maybe as _tel_maybe
 
+from repro.cache.artifact import (
+    UnlinkableArtifact,
+    link_opt2,
+    opt2_artifact,
+)
+from repro.cache.irser import ir_from_dict, ir_to_dict
 from repro.opt.boundselim import eliminate_bounds_checks
 from repro.opt.branchfold import cleanup_cfg
 from repro.opt.constprop import constant_propagation
@@ -34,7 +40,7 @@ from repro.opt.inline import InlineConfig, inline_calls
 from repro.opt.ir import clone_ir
 from repro.opt.irinterp import execute_ir
 from repro.opt.lowering import lower_method
-from repro.opt.pycodegen import generate_python
+from repro.opt.pycodegen import PyCodegen
 from repro.opt.simplify import simplify
 from repro.opt.specialize import SpecBindings, specialize_ir
 from repro.opt.strength import strength_reduce
@@ -141,11 +147,24 @@ class OptCompiler:
     ) -> OptCompiled:
         """Compile one version of ``rm`` (general, or specialized when
         ``bindings`` are given) and return the compiled method.  The
-        caller installs it."""
+        caller installs it.
+
+        With a compile cache attached to the VM, a prior compile of the
+        same (program, method, tier, bindings, config, environment) is
+        re-linked instead of recompiled; misses populate the cache."""
         if opt_level not in (1, 2):
             raise ValueError(f"opt_level must be 1 or 2, got {opt_level}")
+        cache = getattr(self.vm, "compile_cache", None)
+        key = None
+        if cache is not None:
+            key = cache.key_for(self.vm, rm, opt_level, bindings,
+                                self.config)
+            cm = self._link_cached(cache, key, rm, opt_level, bindings)
+            if cm is not None:
+                return cm
         fn = self.build_ir(rm, opt_level, bindings)
         state_label = bindings.label if bindings else None
+        artifact = None
         if opt_level == 1:
             def executor(vm, args, _fn=fn, _rm=rm):
                 return execute_ir(vm, _rm, _fn, args)
@@ -158,8 +177,14 @@ class OptCompiler:
                 code_size_bytes=fn.instr_count() * IR_INSTR_BYTES,
                 ir=fn,
             )
+            if cache is not None:
+                try:
+                    artifact = {"kind": "opt1", "ir": ir_to_dict(fn)}
+                except UnlinkableArtifact:
+                    cache.uncacheable += 1
         else:
-            source, executor = generate_python(fn, rm)
+            gen = PyCodegen(fn)
+            source, executor = gen.generate()
             cm = OptCompiled(
                 rm,
                 executor,
@@ -169,9 +194,87 @@ class OptCompiler:
                 ir=fn,
                 source_text=source,
             )
+            if cache is not None:
+                if gen.uncacheable:
+                    cache.uncacheable += 1
+                else:
+                    artifact = opt2_artifact(
+                        gen.func_name, source, gen.pin_refs, gen.code
+                    )
+        if cache is not None and artifact is not None:
+            cache.store(key, artifact, meta={
+                "cls": rm.rclass.name,
+                "method": rm.info.key,
+                "opt_level": opt_level,
+                "special": state_label,
+            })
         # Under active telemetry, keep dispatch going through the
         # counting invoke() even for final-tier methods (the direct
         # executor binding would make their calls invisible).
         if _tel_maybe(self.vm.telemetry) is not None:
+            cm.__dict__.pop("invoke", None)
+        return cm
+
+    def _link_cached(
+        self,
+        cache: Any,
+        key: str,
+        rm: Any,
+        opt_level: int,
+        bindings: SpecBindings | None,
+    ) -> OptCompiled | None:
+        """Try to build an OptCompiled from a cache entry.  Any failure
+        (absent, corrupt, or unlinkable entry) is a miss and the caller
+        compiles normally — correctness never depends on the cache."""
+        tel = _tel_maybe(self.vm.telemetry)
+        start = time.perf_counter()
+        artifact = cache.load(key)
+        cm = None
+        if artifact is not None:
+            state_label = bindings.label if bindings else None
+            try:
+                if artifact.get("kind") == "opt1" and opt_level == 1:
+                    fn = ir_from_dict(self.vm, artifact["ir"])
+
+                    def executor(vm, args, _fn=fn, _rm=rm):
+                        return execute_ir(vm, _rm, _fn, args)
+
+                    cm = OptCompiled(
+                        rm,
+                        executor,
+                        opt_level=1,
+                        specialized_state=state_label,
+                        code_size_bytes=(
+                            fn.instr_count() * IR_INSTR_BYTES
+                        ),
+                        ir=fn,
+                    )
+                elif artifact.get("kind") == "opt2" and opt_level == 2:
+                    source, executor = link_opt2(self.vm, artifact)
+                    cm = OptCompiled(
+                        rm,
+                        executor,
+                        opt_level=2,
+                        specialized_state=state_label,
+                        code_size_bytes=len(source),
+                        ir=None,
+                        source_text=source,
+                    )
+            except Exception:
+                # Mis-linked or corrupt entry: count it and recompile.
+                cache.link_errors += 1
+                cm = None
+        if cm is None:
+            cache.misses += 1
+            if tel is not None:
+                tel.count("cache.miss")
+            return None
+        cm.from_cache = True
+        cache.hits += 1
+        if tel is not None:
+            tel.count("cache.hit")
+            tel.observe(
+                "cache.load_seconds", time.perf_counter() - start
+            )
             cm.__dict__.pop("invoke", None)
         return cm

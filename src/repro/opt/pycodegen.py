@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.cache.artifact import UnlinkableArtifact, encode_value, hook_ref
 from repro.opt.ir import Const, IRFunction, IRInstr, Operand, Reg
 from repro.vm.interpreter import JxStackTrace, _is_ref
 from repro.vm.values import (
@@ -155,14 +156,31 @@ class PyCodegen:
         }
         self._pin_counter = 0
         self.lines: list[str] = []
+        #: Pin name -> symbolic descriptor, for the compile cache; a pin
+        #: without one makes the function uncacheable (never mis-linked).
+        self.pin_refs: dict[str, list] = {}
+        self.uncacheable: list[str] = []
+        #: The compiled code object (set by :meth:`generate`).
+        self.code: Any = None
 
     # -- helpers -----------------------------------------------------------
 
-    def _pin(self, prefix: str, obj: Any) -> str:
+    def _pin(self, prefix: str, obj: Any, ref: list | None = None) -> str:
         name = f"_{prefix}{self._pin_counter}"
         self._pin_counter += 1
         self.globals[name] = obj
+        if ref is not None:
+            self.pin_refs[name] = ref
+        else:
+            self.uncacheable.append(f"{prefix}: {obj!r}")
         return name
+
+    @staticmethod
+    def _value_ref(value: Any) -> list | None:
+        try:
+            return ["value", encode_value(value)]
+        except UnlinkableArtifact:
+            return None
 
     @staticmethod
     def _reg(reg: Reg) -> str:
@@ -183,11 +201,11 @@ class PyCodegen:
             if isinstance(value, float):
                 # repr covers inf/nan incorrectly; pin those.
                 if value != value or value in (float("inf"), float("-inf")):
-                    return self._pin("c", value)
+                    return self._pin("c", value, self._value_ref(value))
                 return repr(value)
             if isinstance(value, (bool, int, str)) or value is None:
                 return repr(value)
-            return self._pin("c", value)
+            return self._pin("c", value, self._value_ref(value))
         return self._reg(operand)
 
     def _emit(self, indent: int, text: str) -> None:
@@ -217,20 +235,24 @@ class PyCodegen:
         elif op == "putfield":
             E(indent, f"{args[0]}.fields[{instr.extra.slot}] = {args[1]}")
             if instr.extra.hook is not None:
-                hook = self._pin("hook", instr.extra.hook)
+                hook = self._pin("hook", instr.extra.hook,
+                                 hook_ref(instr.extra.hook))
                 E(indent, f"{hook}(vm, {args[0]})")
         elif op == "getstatic":
             E(indent, f"{dest} = _sf[{instr.extra.slot}]")
         elif op == "putstatic":
             E(indent, f"_sf[{instr.extra.slot}] = {args[0]}")
             if instr.extra.hook is not None:
-                hook = self._pin("hook", instr.extra.hook)
+                hook = self._pin("hook", instr.extra.hook,
+                                 hook_ref(instr.extra.hook))
                 E(indent, f"{hook}(vm, None)")
         elif op == "new":
-            rc = self._pin("rc", instr.extra.rc)
+            rc = self._pin("rc", instr.extra.rc,
+                           ["class", instr.extra.rc.name])
             E(indent, f"{dest} = {rc}.allocate(vm)")
         elif op == "newarray":
-            fill = self._pin("fill", instr.extra.fill)
+            fill = self._pin("fill", instr.extra.fill,
+                             self._value_ref(instr.extra.fill))
             E(
                 indent,
                 f"{dest} = _VMArray({instr.extra.elem!r}, {args[0]}, {fill})",
@@ -255,14 +277,16 @@ class PyCodegen:
         elif op == "arraylen":
             E(indent, f"{dest} = len({args[0]}.data)")
         elif op == "instanceof":
-            name = self._pin("tn", instr.extra.rc.name)
+            name = self._pin("tn", instr.extra.rc.name,
+                             ["value", instr.extra.rc.name])
             E(
                 indent,
                 f"{dest} = {args[0]} is not None and {name} in "
                 f"{args[0]}.tib.type_info.all_supertypes",
             )
         elif op == "checkcast":
-            name = self._pin("tn", instr.extra.rc.name)
+            name = self._pin("tn", instr.extra.rc.name,
+                             ["value", instr.extra.rc.name])
             E(
                 indent,
                 f"if {args[0]} is not None and {name} not in "
@@ -276,11 +300,15 @@ class PyCodegen:
             )
             E(indent, f"{dest} = {call}" if dest else call)
         elif op == "calls":
-            cell = self._pin("cell", instr.extra.cell)
+            cls, _, key = instr.extra.cell.qualified_name.partition(".")
+            cell = self._pin("cell", instr.extra.cell,
+                             ["cell", cls, key])
             call = f"{cell}.compiled.invoke(vm, [{', '.join(args)}])"
             E(indent, f"{dest} = {call}" if dest else call)
         elif op == "callsp":
-            rm = self._pin("rm", instr.extra.rm)
+            target = instr.extra.rm
+            rm = self._pin("rm", target,
+                           ["method", target.rclass.name, target.info.key])
             call = f"{rm}.compiled.invoke(vm, [{', '.join(args)}])"
             E(indent, f"{dest} = {call}" if dest else call)
         elif op == "calli":
@@ -291,7 +319,8 @@ class PyCodegen:
             )
             E(indent, f"{dest} = {call}" if dest else call)
         elif op == "intr":
-            ifn = self._pin("ifn", instr.extra.intrinsic.fn)
+            ifn = self._pin("ifn", instr.extra.intrinsic.fn,
+                            ["intrinsic", instr.extra.intrinsic.name])
             call = f"{ifn}(_ctx, {', '.join(args)})" if args else f"{ifn}(_ctx)"
             E(indent, f"{dest} = {call}" if dest else call)
         elif op == "hookcall":
@@ -301,10 +330,11 @@ class PyCodegen:
                 # common per-allocation path gets no function call at all.
                 _, rc, slot, table, class_tib, manager = spec
                 obj = args[0]
-                rc_p = self._pin("rc", rc)
-                tbl_p = self._pin("tbl", table)
-                ctib_p = self._pin("ctib", class_tib)
-                mgr_p = self._pin("mgr", manager)
+                rc_p = self._pin("rc", rc, ["class", rc.name])
+                tbl_p = self._pin("tbl", table, ["tib_table1", rc.name])
+                ctib_p = self._pin("ctib", class_tib,
+                                   ["class_tib", rc.name])
+                mgr_p = self._pin("mgr", manager, ["manager"])
                 E(indent, f"if {obj}.tib.type_info is {rc_p}:")
                 E(indent + 1,
                   f"_nt = {tbl_p}.get({obj}.fields[{slot}], {ctib_p})")
@@ -312,7 +342,8 @@ class PyCodegen:
                 E(indent + 2, f"{obj}.tib = _nt")
                 E(indent + 2, f"{mgr_p}.tib_swaps += 1")
             else:
-                hook = self._pin("hook", instr.extra.hook)
+                hook = self._pin("hook", instr.extra.hook,
+                                 hook_ref(instr.extra.hook))
                 E(indent, f"{hook}(vm, {args[0]})")
         elif op == "ret":
             E(indent, f"return {args[0]}" if args else "return None")
@@ -362,7 +393,8 @@ class PyCodegen:
         inner = indent + 1
         first = True
         for child in sorted(node.children, key=lambda c: c.min_id):
-            ids = self._pin("lset", frozenset(child.dispatch_ids))
+            ids = self._pin("lset", frozenset(child.dispatch_ids),
+                            ["frozenset", sorted(child.dispatch_ids)])
             E(inner, f"{'if' if first else 'elif'} _bb in {ids}:")
             self._emit_level(child, inner + 1)
             E(inner + 1, "continue")
@@ -437,6 +469,7 @@ class PyCodegen:
         source = "\n".join(self.lines) + "\n"
         namespace: dict[str, Any] = dict(self.globals)
         code = compile(source, f"<jx-opt2:{fn.name}>", "exec")
+        self.code = code
         exec(code, namespace)
         return source, namespace[self.func_name]
 

@@ -36,6 +36,17 @@ class SpecBindings:
     def __bool__(self) -> bool:
         return bool(self.instance) or bool(self.static)
 
+    def cache_key_payload(self) -> list:
+        """The persistent-compile-cache key contribution: every slot
+        and value that steers specialization, in canonical order.  The
+        ``label`` is deliberately excluded — it is diagnostic text, and
+        two requests binding the same slots to the same values must
+        share one cache entry."""
+        return [
+            sorted((slot, repr(v)) for slot, v in self.instance.items()),
+            sorted((slot, repr(v)) for slot, v in self.static.items()),
+        ]
+
 
 def this_aliases(fn: IRFunction) -> set[str]:
     """Register names provably holding ``this`` (local 0).

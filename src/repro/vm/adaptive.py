@@ -62,6 +62,10 @@ class CompileStats:
     total_code_bytes: int = 0
     special_code_bytes: int = 0
     special_seconds: float = 0.0
+    #: Recompiles served by re-linking a persistent-cache artifact
+    #: (their seconds still count toward the totals — link time is the
+    #: real cost a warm start pays).
+    cached_methods: int = 0
 
     def record(self, event: CompileEvent) -> None:
         self.events.append(event)
@@ -162,6 +166,8 @@ class AdaptiveSystem:
             new_cm = vm.opt_compiler.compile(rm, opt_level)
             seconds = time.perf_counter() - start
             rm.compile_history.append((opt_level, seconds))
+            if getattr(new_cm, "from_cache", False):
+                vm.compile_stats.cached_methods += 1
             vm.compile_stats.record(
                 CompileEvent(
                     qualified_name=rm.info.qualified_name,

@@ -18,6 +18,7 @@ freshly compiled unit.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -65,10 +66,21 @@ class VM:
         adaptive_config: AdaptiveConfig | None = None,
         seed: int = 42,
         telemetry: Any = None,
+        compile_cache: Any = None,
     ) -> None:
         if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         self.unit = program
+        # Persistent compile cache (repro.cache): a CompileCache, a
+        # directory path, or None.  JX_CACHE_DIR enables it globally
+        # for VMs that are not explicitly given one.
+        if compile_cache is None:
+            compile_cache = os.environ.get("JX_CACHE_DIR") or None
+        if isinstance(compile_cache, (str, os.PathLike)):
+            from repro.cache.store import CompileCache
+
+            compile_cache = CompileCache(compile_cache)
+        self.compile_cache = compile_cache
         # Telemetry attaches before any subsystem so the mutation
         # manager's hooks can bake instrumentation in at build time;
         # ``True`` means "give me a default-configured Telemetry".

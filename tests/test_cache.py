@@ -1,0 +1,230 @@
+"""Compile-cache unit tests: key invalidation is correct by
+construction, poisoned entries recompile (never mis-link), and the
+store/stats/clear/CLI surface behaves.
+"""
+
+import json
+
+from repro import VM, compile_source
+from repro.cache import CompileCache, cache_stamp, compile_key
+from repro.cache.keys import method_digest, program_digest
+from repro.harness.cli import main as cli_main
+from repro.mutation import build_mutation_plan
+from repro.opt.pipeline import OptConfig
+from repro.opt.specialize import SpecBindings
+from tests.helpers import AGGRESSIVE, INTERP_ONLY
+
+LOOP = """
+class Main {
+    static int work(int n) {
+        int total = 0;
+        for (int i = 0; i < n; i++) { total += i * 3 - 1; }
+        return total;
+    }
+    static void main() {
+        int acc = 0;
+        for (int r = 0; r < 200; r++) { acc += work(40); }
+        Sys.print("" + acc);
+    }
+}
+"""
+
+#: Same shape, one constant changed in a callee body.
+LOOP_VARIANT = LOOP.replace("i * 3 - 1", "i * 3 - 2")
+
+
+def _vm(source=LOOP, **kwargs):
+    kwargs.setdefault("adaptive_config", INTERP_ONLY)
+    return VM(compile_source(source), **kwargs)
+
+
+def _key(vm, config=None, bindings=None, opt_level=2, method="work"):
+    rm = vm.classes["Main"].own_methods[method]
+    return compile_key(vm, rm, opt_level, bindings, config or OptConfig())
+
+
+# -- key invalidation --------------------------------------------------------
+
+def test_identical_request_identical_key():
+    assert _key(_vm()) == _key(_vm())
+
+
+def test_bytecode_change_changes_key():
+    """Even a change in a *callee* splits the key (opt2 inlines
+    transitively, so the key commits to the whole program)."""
+    assert _key(_vm()) != _key(_vm(LOOP_VARIANT))
+    assert program_digest(_vm().unit) != program_digest(_vm(LOOP_VARIANT).unit)
+
+
+def test_method_digest_tracks_only_that_method():
+    a, b = _vm(), _vm(LOOP_VARIANT)
+    assert method_digest(a.classes["Main"].own_methods["work"].info) != \
+        method_digest(b.classes["Main"].own_methods["work"].info)
+    assert method_digest(a.classes["Main"].own_methods["main"].info) == \
+        method_digest(b.classes["Main"].own_methods["main"].info)
+
+
+def test_opt_level_and_config_change_key():
+    vm = _vm()
+    assert _key(vm, opt_level=1) != _key(vm, opt_level=2)
+    assert _key(vm, config=OptConfig(max_iterations=3)) != _key(vm)
+
+
+def test_state_bindings_change_key():
+    vm = _vm()
+    b0 = SpecBindings(instance={3: 0}, label="grade=0")
+    b1 = SpecBindings(instance={3: 1}, label="grade=1")
+    general = _key(vm)
+    assert _key(vm, bindings=b0) != general
+    assert _key(vm, bindings=b0) != _key(vm, bindings=b1)
+    # The label is diagnostic only — same slots+values, same key.
+    assert _key(vm, bindings=SpecBindings(instance={3: 0}, label="x")) == \
+        _key(vm, bindings=b0)
+
+
+def test_telemetry_attachment_changes_key():
+    """Telemetry selects instrumented hook closures, so its presence is
+    part of the environment digest."""
+    assert _key(_vm()) != _key(_vm(telemetry=True))
+
+
+# -- store behavior ----------------------------------------------------------
+
+def test_store_load_roundtrip_and_checksum(tmp_path):
+    cache = CompileCache(tmp_path)
+    artifact = {"kind": "opt2", "fn_name": "_jx", "source": "def _jx(vm, args): return 7\n", "pins": []}
+    cache.store("ab" + "0" * 62, artifact, meta={"opt_level": 2})
+    assert cache.load("ab" + "0" * 62) == artifact
+    assert cache.load("cd" + "0" * 62) is None  # absent = miss
+
+
+def test_poisoned_entry_is_a_miss_and_recompiles(tmp_path):
+    """Flip bytes in a stored entry: the checksum rejects it and the VM
+    recompiles from scratch with identical output."""
+    cache_dir = tmp_path / "jxcache"
+    out_cold = _vm(adaptive_config=AGGRESSIVE,
+                   compile_cache=str(cache_dir)).run().output
+
+    entries = list(cache_dir.glob("*/*/*.json"))
+    assert entries
+    for path in entries:
+        entry = json.loads(path.read_text())
+        if "source" in entry["artifact"]:
+            entry["artifact"]["source"] = "def _jx(vm, args): return 666\n"
+        entry["artifact"]["poisoned"] = True
+        path.write_text(json.dumps(entry))  # sha now stale on purpose
+
+    vm = _vm(adaptive_config=AGGRESSIVE, compile_cache=str(cache_dir))
+    assert vm.run().output == out_cold
+    assert vm.compile_cache.hits == 0  # every poisoned entry rejected
+    assert vm.compile_cache.misses > 0
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache_dir = tmp_path / "jxcache"
+    _vm(adaptive_config=AGGRESSIVE, compile_cache=str(cache_dir)).run()
+    for path in cache_dir.glob("*/*/*.json"):
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    vm = _vm(adaptive_config=AGGRESSIVE, compile_cache=str(cache_dir))
+    out = vm.run().output
+    assert vm.compile_cache.hits == 0
+    assert out == _vm(adaptive_config=AGGRESSIVE).run().output
+
+
+def test_version_stamp_isolates_entries(tmp_path):
+    """Entries from another VM version live in a different stamp
+    directory: invisible to lookups, counted as stale, removed by
+    clear()."""
+    cache = CompileCache(tmp_path)
+    other = tmp_path / "v0-0.0.1-cpython-000" / "ab"
+    other.mkdir(parents=True)
+    (other / ("ab" + "0" * 62 + ".json")).write_text("{}")
+    assert cache.load("ab" + "0" * 62) is None
+    stats = cache.stats()
+    assert stats["entries"] == 0 and stats["stale_entries"] == 1
+    assert cache.clear() == 1
+    assert not (tmp_path / "v0-0.0.1-cpython-000").exists()
+
+
+def test_stats_counts_by_tier(tmp_path):
+    cache_dir = tmp_path / "jxcache"
+    plan = build_mutation_plan(LOOP)
+    vm = VM(compile_source(LOOP), mutation_plan=plan,
+            adaptive_config=AGGRESSIVE, compile_cache=str(cache_dir))
+    vm.run()
+    stats = vm.compile_cache.stats()
+    assert stats["entries"] == vm.compile_cache.stores
+    assert stats["bytes"] > 0
+    assert sum(stats["by_tier"].values()) == stats["entries"]
+    assert cache_stamp() in stats["dir"]
+
+
+def test_jx_cache_dir_env_enables_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("JX_CACHE_DIR", str(tmp_path / "envcache"))
+    vm = _vm(adaptive_config=AGGRESSIVE)
+    vm.run()
+    assert vm.compile_cache is not None
+    assert vm.compile_cache.stores > 0
+    monkeypatch.delenv("JX_CACHE_DIR")
+    assert _vm().compile_cache is None
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "jxcache")
+    _vm(adaptive_config=AGGRESSIVE, compile_cache=cache_dir).run()
+    assert cli_main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "opt2" in out
+    assert cli_main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert cli_main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "entries      0" in capsys.readouterr().out
+
+
+def test_cli_cache_requires_directory(monkeypatch, capsys):
+    monkeypatch.delenv("JX_CACHE_DIR", raising=False)
+    assert cli_main(["cache", "stats"]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+
+def test_cli_run_uses_cache(tmp_path, capsys):
+    program = tmp_path / "prog.jx"
+    program.write_text(LOOP)
+    cache_dir = str(tmp_path / "jxcache")
+    assert cli_main(["run", str(program), "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["run", str(program), "--cache-dir", cache_dir]) == 0
+    assert capsys.readouterr().out == first
+    assert cli_main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "entries      0" not in capsys.readouterr().out
+
+
+# -- exit codes (regression: failures used to exit 0) ------------------------
+
+def test_cli_run_missing_file_exits_nonzero(capsys):
+    assert cli_main(["run", "/nonexistent/prog.jx"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_run_compile_error_exits_nonzero(tmp_path, capsys):
+    program = tmp_path / "bad.jx"
+    program.write_text("class Main { static void main() { this is not jx } }")
+    assert cli_main(["run", str(program)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_run_runtime_failure_exits_nonzero(tmp_path, capsys):
+    program = tmp_path / "crash.jx"
+    program.write_text("""
+class Main {
+    static void main() {
+        int[] xs = new int[2];
+        Sys.print("" + xs[5]);
+    }
+}
+""")
+    assert cli_main(["run", str(program)]) == 1
+    err = capsys.readouterr().err
+    assert "error" in err

@@ -1,0 +1,74 @@
+"""Differential test layer: every registered workload must produce
+byte-identical output across every execution configuration —
+interpreter, opt1, opt2, mutation/specialization, and cold/warm
+compile-cache runs.  Any tier- or cache-dependent divergence is a VM
+bug by definition (the paper's transformation is semantics-preserving).
+"""
+
+import pytest
+
+from repro import VM, compile_source
+from repro.mutation import build_mutation_plan
+from repro.workloads import PAPER_ORDER, get_workload
+from tests.helpers import AGGRESSIVE, INTERP_ONLY, OPT1_ONLY
+
+SCALE = 0.03
+
+
+def _run(spec, source, adaptive, plan=None, cache=None):
+    unit = compile_source(source, entry_class=spec.entry_class)
+    vm = VM(unit, mutation_plan=plan, adaptive_config=adaptive,
+            compile_cache=cache)
+    return vm.run().output, vm
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_all_configurations_byte_identical(name, tmp_path):
+    spec = get_workload(name)
+    source = spec.source(SCALE)
+    plan = build_mutation_plan(source, entry_class=spec.entry_class)
+    cache_dir = tmp_path / "jxcache"
+
+    reference, _ = _run(spec, source, INTERP_ONLY)
+    assert reference, f"{name}: interpreter produced no output"
+
+    opt1, _ = _run(spec, source, OPT1_ONLY)
+    assert opt1 == reference, f"{name}: opt1 diverged from interpreter"
+
+    opt2, _ = _run(spec, source, AGGRESSIVE)
+    assert opt2 == reference, f"{name}: opt2 diverged from interpreter"
+
+    special, _ = _run(spec, source, AGGRESSIVE, plan=plan)
+    assert special == reference, (
+        f"{name}: specialized run diverged from interpreter"
+    )
+
+    cold, cold_vm = _run(spec, source, AGGRESSIVE, plan=plan,
+                         cache=str(cache_dir))
+    assert cold == reference, f"{name}: cache-cold run diverged"
+    assert cold_vm.compile_cache.stores > 0, (
+        f"{name}: cold run cached nothing"
+    )
+
+    warm, warm_vm = _run(spec, source, AGGRESSIVE, plan=plan,
+                         cache=str(cache_dir))
+    assert warm == reference, f"{name}: cache-warm run diverged"
+    assert warm_vm.compile_cache.hits > 0, (
+        f"{name}: warm run hit nothing "
+        f"(misses={warm_vm.compile_cache.misses})"
+    )
+    assert warm_vm.compile_cache.link_errors == 0
+
+
+def test_warm_start_reuses_every_entry(tmp_path):
+    """On an identical program + plan + config, the warm VM must link
+    every compile from the cache (hit rate 100%)."""
+    spec = get_workload("salarydb")
+    source = spec.source(SCALE)
+    plan = build_mutation_plan(source, entry_class=spec.entry_class)
+    cache_dir = str(tmp_path / "jxcache")
+
+    _, cold_vm = _run(spec, source, AGGRESSIVE, plan=plan, cache=cache_dir)
+    _, warm_vm = _run(spec, source, AGGRESSIVE, plan=plan, cache=cache_dir)
+    assert warm_vm.compile_cache.misses == 0
+    assert warm_vm.compile_cache.hits == cold_vm.compile_cache.misses

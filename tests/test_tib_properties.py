@@ -1,0 +1,179 @@
+"""Property-based TIB-swap invariant tests.
+
+Random state-field write sequences (seeded ``random.Random``, no
+external dependency) drive mutable objects through hot and cold states;
+after every single write the paper's Fig. 4 invariants must hold:
+
+* an object in a hot state points at exactly that state's special TIB;
+* an object in any non-hot state points at the class TIB (swap-back);
+* writes to non-state fields never fire a mutation hook.
+"""
+
+import random
+
+import pytest
+
+from repro import VM, compile_source
+from repro.mutation import build_mutation_plan
+from tests.helpers import AGGRESSIVE
+
+SOURCE = """
+class Employee {
+    double salary;
+    public void raise() { }
+}
+class SalaryEmployee extends Employee {
+    private int grade;
+    int other;
+    SalaryEmployee(int g) { grade = g; }
+    public void promote() { grade = grade + 1; }
+    public void demoteTo(int g) { grade = g; }
+    public void setOther(int v) { other = v; }
+    public void raise() {
+        if (grade == 0) { salary += 1.0; }
+        else if (grade == 1) { salary += 2.0; }
+        else if (grade == 2) { salary *= 1.01; }
+        else { salary += 4.0; }
+    }
+}
+class Main {
+    static void main() {
+        Employee[] emps = new Employee[8];
+        for (int i = 0; i < 8; i++) { emps[i] = new SalaryEmployee(i % 4); }
+        for (int r = 0; r < 600; r++) {
+            for (int j = 0; j < 8; j++) { emps[j].raise(); }
+        }
+        double total = 0.0;
+        for (int j = 0; j < 8; j++) { total += emps[j].salary; }
+        Sys.print("" + total);
+    }
+}
+"""
+
+
+def _fresh_vm(telemetry=None):
+    plan = build_mutation_plan(SOURCE)
+    unit = compile_source(SOURCE)
+    vm = VM(unit, mutation_plan=plan, adaptive_config=AGGRESSIVE,
+            telemetry=telemetry)
+    vm.initialize()
+    return vm
+
+
+def _check_tib_matches_state(vm, rc, obj, grade_slot):
+    """The single invariant: TIB reflects the *current* state value."""
+    key = (obj.fields[grade_slot],)
+    if key in rc.special_tibs:
+        assert obj.tib is rc.special_tibs[key], (
+            f"hot state {key}: object not on its special TIB"
+        )
+        assert obj.tib.is_special
+    else:
+        assert obj.tib is rc.class_tib, (
+            f"cold state {key}: object not swapped back to class TIB"
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 7, 1234])
+def test_random_write_sequences_keep_tib_consistent(seed):
+    vm = _fresh_vm()
+    rc = vm.classes["SalaryEmployee"]
+    grade_slot = vm.unit.lookup_field("SalaryEmployee", "grade").slot
+    rng = random.Random(seed)
+
+    objs = []
+    for _ in range(4):
+        obj = rc.allocate(vm)
+        rc.own_methods["<init>/1"].compiled.invoke(vm, [obj, rng.randrange(6)])
+        _check_tib_matches_state(vm, rc, obj, grade_slot)
+        objs.append(obj)
+
+    for _ in range(300):
+        obj = rng.choice(objs)
+        op = rng.randrange(4)
+        if op == 0:
+            rc.own_methods["promote"].compiled.invoke(vm, [obj])
+        elif op == 1:
+            # Mix hot (0-3) and cold (4-9) target states.
+            rc.own_methods["demoteTo"].compiled.invoke(
+                vm, [obj, rng.randrange(10)]
+            )
+        elif op == 2:
+            rc.own_methods["setOther"].compiled.invoke(
+                vm, [obj, rng.randrange(100)]
+            )
+        else:
+            rc.own_methods["raise"].compiled.invoke(vm, [obj])
+        for o in objs:
+            _check_tib_matches_state(vm, rc, o, grade_slot)
+
+
+@pytest.mark.parametrize("seed", [11, 42])
+def test_swap_back_then_forward_is_lossless(seed):
+    """Leaving and re-entering a hot state restores exactly the original
+    special TIB object (TIBs are shared per state, never re-created per
+    swap)."""
+    vm = _fresh_vm()
+    rc = vm.classes["SalaryEmployee"]
+    demote = rc.own_methods["demoteTo"].compiled
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/1"].compiled.invoke(vm, [obj, 1])
+    original_specials = dict(rc.special_tibs)
+    rng = random.Random(seed)
+    for _ in range(100):
+        demote.invoke(vm, [obj, rng.randrange(10)])
+    assert rc.special_tibs == original_specials
+    demote.invoke(vm, [obj, 99])
+    assert obj.tib is rc.class_tib
+    demote.invoke(vm, [obj, 2])
+    assert obj.tib is original_specials[(2,)]
+
+
+def test_non_state_field_writes_have_no_hooks_installed():
+    """Structural half of the third invariant: PUTFIELD on a non-state
+    field never carries a state hook."""
+    vm = _fresh_vm()
+    from repro.bytecode.opcodes import Op
+
+    state_keys = set()
+    for class_plan in vm.mutation_manager.plan.classes.values():
+        for fld in class_plan.instance_fields + class_plan.static_fields:
+            state_keys.add(fld.key)
+    assert state_keys, "plan found no state fields — test is vacuous"
+    for method in vm.unit.all_methods():
+        if method.is_abstract:
+            continue
+        for instr in method.code:
+            if instr.op not in (Op.PUTFIELD, Op.PUTSTATIC):
+                continue
+            cls_name, field_name = instr.arg
+            finfo = vm.unit.lookup_field(cls_name, field_name)
+            key = f"{finfo.declaring_class}.{finfo.name}"
+            if key not in state_keys:
+                assert getattr(instr, "state_hook", None) is None, (
+                    f"non-state field {key} got a hook"
+                )
+
+
+def test_non_state_field_writes_never_fire_hooks():
+    """Behavioral half: hammering a non-state field leaves the
+    hooks-fired counter untouched."""
+    vm = _fresh_vm(telemetry=True)
+    rc = vm.classes["SalaryEmployee"]
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/1"].compiled.invoke(vm, [obj, 0])
+    fired_before = vm.telemetry.summary()["counters"].get(
+        "mutation.hooks_fired", 0
+    )
+    set_other = rc.own_methods["setOther"].compiled
+    for value in range(50):
+        set_other.invoke(vm, [obj, value])
+    fired_after = vm.telemetry.summary()["counters"].get(
+        "mutation.hooks_fired", 0
+    )
+    assert fired_after == fired_before
+    rc.own_methods["promote"].compiled.invoke(vm, [obj])
+    fired_final = vm.telemetry.summary()["counters"].get(
+        "mutation.hooks_fired", 0
+    )
+    assert fired_final > fired_after  # the counter does work
