@@ -1,0 +1,120 @@
+"""Swap coalescing: the deferred-re-evaluation acceptance gate.
+
+A SalaryDB-style workload whose transactions update *two* state fields
+of the same employee back-to-back.  With ``coalesce_swaps`` on, every
+such region must re-evaluate once instead of once per write:
+
+* ``mutation.swaps_coalesced > 0`` (the deferred hook actually fires);
+* ``mutation.tib_swap + mutation.deopt_to_class_tib`` drops measurably
+  versus the toggle off (``mutation.tib_swap`` counts every swap and
+  ``deopt_to_class_tib`` is the swap-back subset, so the ISSUE's sum
+  double-counts deopts — both the sum and the plain swap count are
+  recorded and both must drop);
+* program output stays byte-identical.
+
+Results go to ``BENCH_coalesce.json`` so the swap-count deltas can be
+diffed across PRs.  This module deliberately avoids the pytest-benchmark
+fixture: swap counts are deterministic, so one run measures them.
+"""
+
+from conftest import write_bench_scalar
+
+from repro import VM, Telemetry, compile_source
+from repro.mutation import build_mutation_plan
+from repro.mutation.plan import MutationConfig
+
+ROUNDS = 400
+
+#: SalaryDB with a two-field employee state (grade, region): raise()
+#: branches on both, and each transaction batch moves employees between
+#: hot states through ``moveTo``'s two consecutive writes.
+SOURCE = f"""
+class Employee {{
+    double salary;
+    public void raise() {{ }}
+}}
+class GradeEmployee extends Employee {{
+    private int grade;
+    private int region;
+    GradeEmployee(int g, int r) {{ grade = g; region = r; }}
+    public void moveTo(int g, int r) {{ grade = g; region = r; }}
+    public void raise() {{
+        if (grade == 0) {{
+            if (region == 0) {{ salary += 1.0; }} else {{ salary += 1.5; }}
+        }} else if (grade == 1) {{
+            if (region == 0) {{ salary += 2.0; }} else {{ salary += 2.5; }}
+        }} else {{ salary *= 1.01; }}
+    }}
+}}
+class Main {{
+    static void main() {{
+        GradeEmployee[] emps = new GradeEmployee[16];
+        for (int i = 0; i < 16; i++) {{
+            emps[i] = new GradeEmployee(i % 2, i % 2);
+        }}
+        for (int r = 0; r < {ROUNDS}; r++) {{
+            for (int j = 0; j < 16; j++) {{ emps[j].raise(); }}
+            if (r % 10 == 9) {{
+                // Oscillate between hot states differing in BOTH
+                // fields: per-write re-evaluation swaps twice here.
+                int phase = r / 10;
+                for (int j = 0; j < 16; j++) {{
+                    emps[j].moveTo((j + phase) % 2, (j + phase) % 2);
+                }}
+            }}
+        }}
+        double total = 0.0;
+        for (int j = 0; j < 16; j++) {{ total += emps[j].salary; }}
+        Sys.print("" + total);
+    }}
+}}
+"""
+
+
+def _measure(coalesce: bool):
+    plan = build_mutation_plan(
+        SOURCE, config=MutationConfig(coalesce_swaps=coalesce)
+    )
+    vm = VM(compile_source(SOURCE), mutation_plan=plan,
+            telemetry=Telemetry())
+    output = vm.run().output
+    counters = vm.telemetry.summary()["counters"]
+    return {
+        "output": output,
+        "tib_swaps": counters.get("mutation.tib_swap", 0),
+        "deopt_swaps": counters.get("mutation.deopt_to_class_tib", 0),
+        "swaps_coalesced": counters.get("mutation.swaps_coalesced", 0),
+        "stats_tib_swaps": vm.mutation_stats.tib_swaps,
+        "stats_swaps_coalesced": vm.mutation_stats.swaps_coalesced,
+    }
+
+
+def test_coalescing_cuts_swap_traffic():
+    on = _measure(coalesce=True)
+    off = _measure(coalesce=False)
+
+    assert on["output"] == off["output"], "coalescing changed semantics"
+    # Telemetry mirrors VMStats exactly (the unified accounting).
+    for side in (on, off):
+        assert side["tib_swaps"] == side["stats_tib_swaps"]
+        assert side["swaps_coalesced"] == side["stats_swaps_coalesced"]
+
+    assert on["swaps_coalesced"] > 0
+    assert off["swaps_coalesced"] == 0
+    on_traffic = on["tib_swaps"] + on["deopt_swaps"]
+    off_traffic = off["tib_swaps"] + off["deopt_swaps"]
+    assert on["tib_swaps"] < off["tib_swaps"]
+    assert on_traffic < off_traffic
+
+    write_bench_scalar(
+        "coalesce",
+        rounds=ROUNDS,
+        coalesce_on={k: v for k, v in on.items() if k != "output"},
+        coalesce_off={k: v for k, v in off.items() if k != "output"},
+        swap_traffic_on=on_traffic,
+        swap_traffic_off=off_traffic,
+        swap_traffic_reduction=(
+            (off_traffic - on_traffic) / off_traffic if off_traffic else 0.0
+        ),
+        outputs_match=on["output"] == off["output"],
+    )

@@ -82,9 +82,12 @@ def resolve_pin(vm: Any, desc: list | tuple) -> Any:
     ``["cell", cls, key]``    a static method's JTOC cell
     ``["intrinsic", name]``   an intrinsic's implementation function
     ``["instance_hook"]``     the manager's shared PUTFIELD state hook
+    ``["deferred_hook"]``     the manager's coalesced-write hook
     ``["static_hook", key]``  the PUTSTATIC hook for one state field
     ``["ctor_hook", cls]``    a mutable class's constructor-exit hook
     ``["manager"]``           the mutation manager itself
+    ``["mutation_stats"]``    the VM's mutation-stats record (inline
+                              swap / coalesce counting)
     ``["tib_table1", cls]``   value -> special-TIB map (single-field
                               inline-swap fast path)
     ========================= =========================================
@@ -112,12 +115,16 @@ def resolve_pin(vm: Any, desc: list | tuple) -> Any:
             return INTRINSICS[desc[1]].fn
         if kind == "instance_hook":
             return _manager(vm).instance_state_hook()
+        if kind == "deferred_hook":
+            return _manager(vm).deferred_state_hook()
         if kind == "static_hook":
             return _manager(vm).static_hooks[desc[1]]
         if kind == "ctor_hook":
             return _manager(vm).ctor_hooks[desc[1]]
         if kind == "manager":
             return _manager(vm)
+        if kind == "mutation_stats":
+            return vm.mutation_stats
         if kind == "tib_table1":
             mcr = _manager(vm).mcrs[desc[1]]
             return {

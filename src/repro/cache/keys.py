@@ -109,19 +109,23 @@ def opt_config_payload(config: Any) -> dict:
 
 def environment_payload(vm: Any) -> dict:
     """The VM-construction facts that steer codegen besides bytecode:
-    the mutation plan (hooks, hot states, lifetime constants) and
-    telemetry attachment (selects instrumented hook closures and
-    disables the inline-swap fast path)."""
+    the mutation plan (hooks, hot states, lifetime constants), telemetry
+    attachment (selects instrumented hook closures and disables the
+    inline fast paths), and the swap-coalescing toggle (moves hooks
+    between PUTFIELD sites, changing which stores carry hook calls)."""
     manager = getattr(vm, "mutation_manager", None)
     plan_dict = None
+    coalesce = None
     if manager is not None:
         from repro.profiling.reports import plan_to_dict
 
         plan_dict = plan_to_dict(manager.plan)
         plan_dict["k"] = manager.plan.config.k
+        coalesce = manager.plan.config.coalesce_swaps
     return {
         "plan": plan_dict,
         "telemetry": vm.telemetry is not None,
+        "coalesce": coalesce,
     }
 
 

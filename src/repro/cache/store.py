@@ -35,7 +35,10 @@ from repro import __version__
 from repro.cache.keys import compile_key, program_digest, stable_digest
 
 #: Bump when the artifact or key format changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: unified swap accounting — generated code counts swaps on
+#: ``vm.mutation_stats`` (pin kind ``mutation_stats``); v1 artifacts
+#: wrote ``manager.tib_swaps``, which is now a read-only alias.
+SCHEMA_VERSION = 2
 
 
 def cache_stamp() -> str:

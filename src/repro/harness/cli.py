@@ -124,7 +124,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f" ({tiers(mut)})")
         print(f"  tib swaps        baseline {base['tib_swaps']}, "
               f"mutated {mut['tib_swaps']} "
-              f"(+{mut['deopt_swaps']} back to class TIB)")
+              f"(of which {mut['deopt_swaps']} back to class TIB; "
+              f"{mut['swaps_coalesced']} coalesced)")
         print(f"  hooks fired      baseline {base['hooks_fired']}, "
               f"mutated {mut['hooks_fired']}; "
               f"specials compiled: {mut['specials_compiled']}")

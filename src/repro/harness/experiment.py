@@ -36,9 +36,12 @@ class Measurement:
     special_compile_seconds: float
     class_tib_bytes: int
     special_tib_bytes: int
+    #: From ``vm.mutation_stats`` — the same counter the manager aliases
+    #: and telemetry mirrors, so ``jx compare`` and ``jx stats`` agree.
     tib_swaps: int
     special_versions: int
     output: str
+    swaps_coalesced: int = 0
     objects_allocated: int = 0
     #: Telemetry summary (counters/gauges/histograms/events) of the
     #: best run's VM, when the run was telemetry-instrumented.
@@ -150,10 +153,11 @@ def run_workload(
         special_compile_seconds=stats.special_seconds,
         class_tib_bytes=vm.tib_space.class_tib_bytes,
         special_tib_bytes=vm.tib_space.special_tib_bytes,
-        tib_swaps=manager.tib_swaps if manager else 0,
+        tib_swaps=vm.mutation_stats.tib_swaps,
         special_versions=(
             manager.special_versions_compiled if manager else 0
         ),
+        swaps_coalesced=vm.mutation_stats.swaps_coalesced,
         output=output,
         objects_allocated=vm.heap.objects_allocated,
         telemetry_report=report,
@@ -173,6 +177,7 @@ def telemetry_compile_summary(report: dict | None) -> dict:
         "compile_seconds_by_tier": {},
         "tib_swaps": 0,
         "deopt_swaps": 0,
+        "swaps_coalesced": 0,
         "hooks_fired": 0,
         "specials_compiled": 0,
     }
@@ -184,8 +189,11 @@ def telemetry_compile_summary(report: dict | None) -> dict:
             out["compile_seconds_by_tier"][tier] = hist["sum"]
             out["compile_seconds_total"] += hist["sum"]
     counters = report.get("counters", {})
+    # mutation.tib_swap counts every swap (deopt_to_class_tib is the
+    # swap-back subset), matching Measurement.tib_swaps exactly.
     out["tib_swaps"] = counters.get("mutation.tib_swap", 0)
     out["deopt_swaps"] = counters.get("mutation.deopt_to_class_tib", 0)
+    out["swaps_coalesced"] = counters.get("mutation.swaps_coalesced", 0)
     out["hooks_fired"] = counters.get("mutation.hooks_fired", 0)
     out["specials_compiled"] = counters.get(
         "mutation.specials_compiled", 0

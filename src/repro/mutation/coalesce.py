@@ -1,0 +1,112 @@
+"""Swap coalescing: deferred TIB re-evaluation for multi-field state
+updates (ROADMAP's hook-batching item).
+
+The paper's Fig. 4 hook fires at *every* state-field assignment, so a
+method that writes two state fields of the same object back-to-back
+swaps the TIB twice — the first swap is immediately overwritten by the
+second.  Both Pape et al. (adaptive value-class optimization) and
+D'Elia & Demetrescu (OSR à la Carte) defer such code/layout transitions
+to region boundaries; we do the same at hook-installation time.
+
+A hooked PUTFIELD ``D`` may be marked **deferred** (its re-evaluation
+skipped) when a later hooked PUTFIELD ``W`` in the same method provably
+(a) writes the same object and (b) is reached before anything can
+observe the object's TIB.  Both are established conservatively:
+
+* ``D`` and ``W`` must target the same receiver local (via the abstract
+  stack simulation in :mod:`repro.mutation.stacksim`), with no STORE to
+  that local in between — so they dereference the same object, and the
+  final write cannot NPE unless the deferred one already did;
+* every instruction strictly between them must be in
+  :data:`SAFE_BETWEEN` — straight-line, non-raising, no calls and no
+  virtual/interface dispatch.  Any branch (forward or backward), call,
+  potentially-raising op, or other field store is a **barrier**: the
+  deferral region ends and the earlier write keeps its re-evaluating
+  hook.  Dispatch is the crux: specialized code is selected through the
+  TIB, so no dispatch may happen while the TIB is stale.
+
+Because re-evaluation reads the *current* field values (it is
+idempotent and history-free), jumping *into* the middle of a region is
+harmless: whichever write executes last still re-evaluates.
+
+Constructor bodies coalesce like any other method; the constructor-exit
+hook (Fig. 4, first clause) is never deferred.  PUTSTATIC hooks repoint
+compiled code globally and are not coalesced.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bytecode.classfile import MethodInfo
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import Op
+from repro.mutation.stacksim import StackEvent, SymValue, walk_method
+
+#: Opcodes allowed strictly between a deferred state write and the
+#: region's final write.  Everything here is non-raising, transfers no
+#: control, and performs no dispatch — so the stale-TIB window cannot be
+#: observed and execution provably reaches the final write.  Notable
+#: exclusions: IDIV/IREM (divide by zero), D2I (overflow), GETFIELD /
+#: ALOAD / ASTORE / ARRAYLEN / CHECKCAST (null / bounds / cast errors),
+#: all calls and branches, and every other PUTFIELD/PUTSTATIC.
+SAFE_BETWEEN = frozenset({
+    Op.CONST, Op.LOAD, Op.STORE, Op.POP, Op.DUP, Op.SWAP, Op.NOP,
+    Op.ADD, Op.SUB, Op.MUL, Op.FDIV, Op.NEG, Op.I2D,
+    Op.SHL, Op.SHR, Op.BAND, Op.BOR, Op.BXOR,
+    Op.CMP_LT, Op.CMP_LE, Op.CMP_GT, Op.CMP_GE, Op.CMP_EQ, Op.CMP_NE,
+    Op.NOT, Op.CONCAT, Op.GETSTATIC, Op.INSTANCEOF,
+})
+
+
+class _ReceiverRecorder(StackEvent):
+    """Maps each PUTFIELD carrying ``hook`` to its receiver local."""
+
+    def __init__(self, hook: Any) -> None:
+        self.hook = hook
+        #: instruction index -> receiver local slot
+        self.sites: dict[int, int] = {}
+
+    def on_putfield(
+        self, index: int, instr: Instr, receiver: SymValue, value: SymValue
+    ) -> None:
+        if instr.state_hook is not self.hook:
+            return
+        kind = receiver.kind
+        if kind == ("this",):
+            self.sites[index] = 0
+        elif kind[0] == "local":
+            self.sites[index] = kind[1]
+        # Any other receiver shape (fresh allocation, field load, call
+        # result) stays un-deferred — and, being a hooked PUTFIELD, also
+        # acts as a barrier for its neighbors.
+
+
+def deferrable_writes(method: MethodInfo, instance_hook: Any) -> list[int]:
+    """Indices of hooked PUTFIELDs in ``method`` whose re-evaluation may
+    be deferred to a later write of the same region."""
+    recorder = _ReceiverRecorder(instance_hook)
+    walk_method(method, recorder)
+    if len(recorder.sites) < 2:
+        return []
+    code = method.code
+    deferred = []
+    ordered = sorted(recorder.sites)
+    for d, w in zip(ordered, ordered[1:]):
+        if recorder.sites[d] != recorder.sites[w]:
+            continue
+        if _region_is_safe(code, d, w, recorder.sites[d]):
+            deferred.append(d)
+    return deferred
+
+
+def _region_is_safe(
+    code: list, start: int, end: int, receiver_local: int
+) -> bool:
+    for i in range(start + 1, end):
+        instr = code[i]
+        if instr.op not in SAFE_BETWEEN:
+            return False
+        if instr.op is Op.STORE and instr.arg == receiver_local:
+            return False  # the later write targets a different object
+    return True

@@ -29,11 +29,30 @@ At runtime:
 * **opt2 recompilation of a mutable method** (Fig. 5) generates every
   specialized version alongside the general code — with no value
   guards — then re-applies the current static match.
+
+Two refinements over the literal Fig. 4:
+
+* **Swap coalescing** (``MutationConfig.coalesce_swaps``): when a
+  method writes several state fields of the same object back-to-back,
+  all but the last write get a lightweight *deferred* hook that only
+  counts the avoided re-evaluation; the last write of the region swaps
+  once, from the final field values.  Region legality is decided
+  conservatively at hook-installation time (:mod:`.coalesce`): any
+  call, branch, or potentially-raising instruction between the writes
+  is a barrier, so dispatch never sees a stale TIB.
+* **Unified accounting**: every swap path — the class-specialized
+  re-evaluation closures, :meth:`MutationManager.reevaluate_object`,
+  and the opt2 inline fast path — bumps ``vm.mutation_stats.tib_swaps``
+  through :meth:`MutationManager.record_swap` (the inline path bumps
+  the same field directly).  ``manager.tib_swaps`` is a read-only alias
+  and the ``mutation.tib_swap`` telemetry counter mirrors it in
+  instrumented runs, so all three reporters agree.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any
 
 from repro.bytecode.opcodes import Op
@@ -100,15 +119,27 @@ class MutationManager:
         self.vm = vm
         self.plan = plan
         self.mcrs: dict[str, MutableClassRuntime] = {}
-        #: Counters for the harness.
-        self.tib_swaps = 0
         self.special_versions_compiled = 0
         self._attached = False
         #: Hook registries, keyed symbolically so cached compiled code
         #: can re-link against this VM's hooks (repro.cache).
         self._instance_hook: Any = None
+        self._deferred_hook: Any = None
         self.static_hooks: dict[str, Any] = {}
         self.ctor_hooks: dict[str, Any] = {}
+
+    @property
+    def tib_swaps(self) -> int:
+        """Total TIB-pointer swaps, both directions — a read-only alias
+        of ``vm.mutation_stats.tib_swaps``, the single counter every
+        swap path updates (see :meth:`record_swap`)."""
+        return self.vm.mutation_stats.tib_swaps
+
+    @property
+    def swaps_coalesced(self) -> int:
+        """Re-evaluations skipped by swap coalescing (alias of
+        ``vm.mutation_stats.swaps_coalesced``)."""
+        return self.vm.mutation_stats.swaps_coalesced
 
     # ------------------------------------------------------------------
     # Startup
@@ -195,22 +226,68 @@ class MutationManager:
             self._instance_hook = hook
         return self._instance_hook
 
+    def deferred_state_hook(self):
+        """The shared hook for coalesced (all-but-last) state writes of
+        an update region: counts the avoided re-evaluation and returns.
+        The region's final write re-evaluates from the then-current
+        field values, so deferral loses nothing."""
+        if self._deferred_hook is None:
+            hook = self._make_deferred_hook()
+            hook.cache_ref = ("deferred_hook",)  # type: ignore[attr-defined]
+            self._deferred_hook = hook
+        return self._deferred_hook
+
+    def _make_deferred_hook(self):
+        stats = self.vm.mutation_stats
+        tel = self.vm.telemetry
+
+        if tel is None:
+
+            def deferred(vm: Any, obj: Any) -> None:
+                stats.swaps_coalesced += 1
+
+            # opt2 inlines the count so the deferred write costs no call.
+            deferred.inline_spec = (  # type: ignore[attr-defined]
+                "deferred", stats
+            )
+            return deferred
+
+        def deferred_tel(vm: Any, obj: Any) -> None:
+            stats.swaps_coalesced += 1
+            if tel.enabled:
+                tel.count("mutation.swaps_coalesced")
+                tel.emit(
+                    "swap_coalesced",
+                    cls=obj.tib.type_info.name if obj is not None else None,
+                )
+
+        return deferred_tel
+
     def _install_field_hooks(self) -> None:
         instance_keys, static_keys = self._state_field_keys()
         unit = self.vm.unit
+        coalesce = self.plan.config.coalesce_swaps
         for method in unit.all_methods():
             if method.is_abstract:
                 continue
+            hooked_putfields = False
             for instr in method.code:
                 if instr.op is Op.PUTFIELD:
                     cls_name, field_name = instr.arg
                     finfo = unit.lookup_field(cls_name, field_name)
+                    if finfo is None:
+                        self._warn_unresolved(method, cls_name, field_name)
+                        continue
                     key = f"{finfo.declaring_class}.{finfo.name}"
                     if key in instance_keys:
                         instr.state_hook = self.instance_state_hook()
+                        hooked_putfields = True
                 elif instr.op is Op.PUTSTATIC:
                     cls_name, field_name = instr.arg
                     finfo = unit.lookup_field(cls_name, field_name)
+                    if finfo is None:
+                        self._warn_unresolved(method, cls_name, field_name)
+                        continue
                     key = f"{finfo.declaring_class}.{finfo.name}"
                     mcrs = static_keys.get(key)
                     if mcrs:
@@ -222,6 +299,31 @@ class MutationManager:
                             )
                             self.static_hooks[key] = hook
                         instr.state_hook = hook
+            if hooked_putfields and coalesce:
+                self._coalesce_method(method)
+
+    @staticmethod
+    def _warn_unresolved(method: Any, cls_name: str, field_name: str) -> None:
+        """An unresolvable field write cannot be a state-field write
+        (the plan only names resolvable fields), so skipping the hook is
+        safe — but it points at a stale plan or program, so say so."""
+        warnings.warn(
+            f"mutation: cannot resolve field {cls_name}.{field_name} "
+            f"written by {method.key}; no state hook installed",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _coalesce_method(self, method: Any) -> None:
+        """Replace the re-evaluating hook with the deferred hook on every
+        all-but-last write of a provably-safe update region."""
+        from repro.mutation.coalesce import deferrable_writes
+
+        deferred = None
+        for index in deferrable_writes(method, self._instance_hook):
+            if deferred is None:
+                deferred = self.deferred_state_hook()
+            method.code[index].state_hook = deferred
 
     def _install_ctor_hooks(self) -> None:
         """Fig. 4, first clause: at the end of the constructors of a
@@ -328,7 +430,8 @@ class MutationManager:
         Single-state-field classes (the common case) dispatch on the raw
         field value — no tuple allocation on the per-object-birth path.
         """
-        manager = self
+        record = self.record_swap
+        stats = self.vm.mutation_stats
         class_tib = mcr.rc.class_tib
         tel = self.vm.telemetry
         cls_name = mcr.class_name
@@ -344,10 +447,10 @@ class MutationManager:
                     tib = table1.get(obj.fields[slot], class_tib)
                     if obj.tib is not tib:
                         obj.tib = tib
-                        manager.tib_swaps += 1
+                        stats.tib_swaps += 1
 
                 reeval1.inline_spec = (  # type: ignore[attr-defined]
-                    "single", mcr.rc, slot, table1, class_tib, manager
+                    "single", mcr.rc, slot, table1, class_tib, stats
                 )
                 return reeval1
 
@@ -359,11 +462,7 @@ class MutationManager:
                 tib = table1.get(obj.fields[slot], class_tib)
                 if obj.tib is not tib:
                     obj.tib = tib
-                    manager.tib_swaps += 1
-                    if tel.enabled:
-                        manager._record_swap(
-                            tel, start, tib is not class_tib, cls_name
-                        )
+                    record(tib is not class_tib, cls_name, start)
 
             return reeval1_tel
         slots = tuple(mcr.instance_slots)
@@ -378,7 +477,7 @@ class MutationManager:
                 )
                 if obj.tib is not tib:
                     obj.tib = tib
-                    manager.tib_swaps += 1
+                    stats.tib_swaps += 1
 
             return reeval
 
@@ -390,21 +489,35 @@ class MutationManager:
             )
             if obj.tib is not tib:
                 obj.tib = tib
-                manager.tib_swaps += 1
-                if tel.enabled:
-                    manager._record_swap(
-                        tel, start, tib is not class_tib, cls_name
-                    )
+                record(tib is not class_tib, cls_name, start)
 
         return reeval_tel
 
-    def _record_swap(self, tel: Any, start: float, to_special: bool,
-                     cls_name: str) -> None:
-        seconds = time.perf_counter() - start
-        name = "tib_swap" if to_special else "deopt_to_class_tib"
-        tel.emit(name, cls=cls_name)
-        tel.count(f"mutation.{name}")
-        tel.observe("mutation.swap_seconds", seconds)
+    def record_swap(self, to_special: bool, cls_name: str,
+                    start: float | None = None) -> None:
+        """The single accounting point for a TIB-pointer swap.
+
+        Bumps ``vm.mutation_stats.tib_swaps`` (``manager.tib_swaps`` is
+        a read-only alias) and, in instrumented runs, the
+        ``mutation.tib_swap`` counter for *every* swap plus
+        ``mutation.deopt_to_class_tib`` for the swap-back subset, with
+        the matching directional event.  The uninstrumented closures and
+        the opt2 inline fast path bump the same VMStats field directly —
+        they exist only when telemetry is off, so the counter and the
+        telemetry mirror cannot diverge.
+        """
+        self.vm.mutation_stats.tib_swaps += 1
+        tel = _tel_maybe(self.vm.telemetry)
+        if tel is not None:
+            name = "tib_swap" if to_special else "deopt_to_class_tib"
+            tel.emit(name, cls=cls_name)
+            tel.count("mutation.tib_swap")
+            if not to_special:
+                tel.count("mutation.deopt_to_class_tib")
+            if start is not None:
+                tel.observe(
+                    "mutation.swap_seconds", time.perf_counter() - start
+                )
 
     def _make_static_hook(self, mcrs: list[MutableClassRuntime]):
         tel = self.vm.telemetry
@@ -429,14 +542,9 @@ class MutationManager:
         new_tib = tib if tib is not None else mcr.rc.class_tib
         if obj.tib is not new_tib:
             obj.tib = new_tib
-            self.tib_swaps += 1
-            self.vm.mutation_stats.tib_swaps += 1
-            tel = _tel_maybe(self.vm.telemetry)
-            if tel is not None:
-                self._record_swap(
-                    tel, start, new_tib is not mcr.rc.class_tib,
-                    mcr.class_name,
-                )
+            self.record_swap(
+                new_tib is not mcr.rc.class_tib, mcr.class_name, start
+            )
 
     def apply_static_state(self, mcr: MutableClassRuntime) -> None:
         """Fig. 4, third clause (also reused by Fig. 5): repoint compiled
@@ -587,7 +695,8 @@ class MutationManager:
                     f"{len(rm.specials)} special versions"
                 )
         lines.append(
-            f"tib swaps: {self.tib_swaps}, "
+            f"tib swaps: {self.tib_swaps} "
+            f"({self.swaps_coalesced} coalesced), "
             f"special versions: {self.special_versions_compiled}"
         )
         return "\n".join(lines)

@@ -10,8 +10,15 @@ VM, applies to any VM running the same source.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
+
+
+def _coalesce_default() -> bool:
+    """Swap coalescing defaults on; ``JX_COALESCE_SWAPS=0`` restores the
+    paper's strict per-write re-evaluation (CI runs tier-1 both ways)."""
+    return os.environ.get("JX_COALESCE_SWAPS", "1") != "0"
 
 
 @dataclass
@@ -40,6 +47,11 @@ class MutationConfig:
     state_field_types: frozenset[str] = frozenset(
         {"int", "boolean", "string"}
     )
+    #: Deferred re-evaluation: coalesce consecutive same-object state
+    #: writes into one TIB swap at the last write of the region (see
+    #: :mod:`repro.mutation.coalesce`).  Off reproduces Fig. 4's strict
+    #: per-write behavior for differential testing.
+    coalesce_swaps: bool = field(default_factory=_coalesce_default)
 
 
 @dataclass

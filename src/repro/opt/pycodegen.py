@@ -235,9 +235,16 @@ class PyCodegen:
         elif op == "putfield":
             E(indent, f"{args[0]}.fields[{instr.extra.slot}] = {args[1]}")
             if instr.extra.hook is not None:
-                hook = self._pin("hook", instr.extra.hook,
-                                 hook_ref(instr.extra.hook))
-                E(indent, f"{hook}(vm, {args[0]})")
+                spec = getattr(instr.extra.hook, "inline_spec", None)
+                if spec is not None and spec[0] == "deferred":
+                    # Coalesced state write: no re-evaluation here, just
+                    # the skipped-swap count (no call on the fast path).
+                    st = self._pin("st", spec[1], ["mutation_stats"])
+                    E(indent, f"{st}.swaps_coalesced += 1")
+                else:
+                    hook = self._pin("hook", instr.extra.hook,
+                                     hook_ref(instr.extra.hook))
+                    E(indent, f"{hook}(vm, {args[0]})")
         elif op == "getstatic":
             E(indent, f"{dest} = _sf[{instr.extra.slot}]")
         elif op == "putstatic":
@@ -327,20 +334,22 @@ class PyCodegen:
             spec = getattr(instr.extra.hook, "inline_spec", None)
             if spec is not None and spec[0] == "single":
                 # Inline the single-state-field TIB re-evaluation: the
-                # common per-allocation path gets no function call at all.
-                _, rc, slot, table, class_tib, manager = spec
+                # common per-allocation path gets no function call at
+                # all.  The swap count goes to vm.mutation_stats — the
+                # same field every other swap path updates.
+                _, rc, slot, table, class_tib, stats = spec
                 obj = args[0]
                 rc_p = self._pin("rc", rc, ["class", rc.name])
                 tbl_p = self._pin("tbl", table, ["tib_table1", rc.name])
                 ctib_p = self._pin("ctib", class_tib,
                                    ["class_tib", rc.name])
-                mgr_p = self._pin("mgr", manager, ["manager"])
+                st_p = self._pin("st", stats, ["mutation_stats"])
                 E(indent, f"if {obj}.tib.type_info is {rc_p}:")
                 E(indent + 1,
                   f"_nt = {tbl_p}.get({obj}.fields[{slot}], {ctib_p})")
                 E(indent + 1, f"if {obj}.tib is not _nt:")
                 E(indent + 2, f"{obj}.tib = _nt")
-                E(indent + 2, f"{mgr_p}.tib_swaps += 1")
+                E(indent + 2, f"{st_p}.tib_swaps += 1")
             else:
                 hook = self._pin("hook", instr.extra.hook,
                                  hook_ref(instr.extra.hook))

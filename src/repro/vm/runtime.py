@@ -52,8 +52,13 @@ class VMStats:
     """Point-in-time snapshot of a VM's accounting."""
 
     heap: HeapStats = field(default_factory=HeapStats)
+    #: The single source of truth for TIB-pointer swaps: every swap path
+    #: (reeval closures, reevaluate_object, the opt2 inline fast path)
+    #: bumps this field; ``MutationManager.tib_swaps`` is an alias.
     tib_swaps: int = 0
     special_tibs_created: int = 0
+    #: Re-evaluations skipped by swap coalescing (deferred state writes).
+    swaps_coalesced: int = 0
 
 
 class VM:

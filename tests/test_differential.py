@@ -5,10 +5,13 @@ compile-cache runs.  Any tier- or cache-dependent divergence is a VM
 bug by definition (the paper's transformation is semantics-preserving).
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro import VM, compile_source
 from repro.mutation import build_mutation_plan
+from repro.mutation.plan import MutationPlan
 from repro.workloads import PAPER_ORDER, get_workload
 from tests.helpers import AGGRESSIVE, INTERP_ONLY, OPT1_ONLY
 
@@ -20,6 +23,17 @@ def _run(spec, source, adaptive, plan=None, cache=None):
     vm = VM(unit, mutation_plan=plan, adaptive_config=adaptive,
             compile_cache=cache)
     return vm.run().output, vm
+
+
+def _with_coalesce(plan, value):
+    """The same plan with the coalesce_swaps toggle forced; shares the
+    per-class plans (attach only reads them)."""
+    return MutationPlan(
+        classes=plan.classes,
+        lifetime_constants=plan.lifetime_constants,
+        config=replace(plan.config, coalesce_swaps=value),
+        hot_methods=plan.hot_methods,
+    )
 
 
 @pytest.mark.parametrize("name", PAPER_ORDER)
@@ -38,10 +52,21 @@ def test_all_configurations_byte_identical(name, tmp_path):
     opt2, _ = _run(spec, source, AGGRESSIVE)
     assert opt2 == reference, f"{name}: opt2 diverged from interpreter"
 
-    special, _ = _run(spec, source, AGGRESSIVE, plan=plan)
+    special, on_vm = _run(
+        spec, source, AGGRESSIVE, plan=_with_coalesce(plan, True)
+    )
     assert special == reference, (
         f"{name}: specialized run diverged from interpreter"
     )
+
+    nocoalesce, off_vm = _run(
+        spec, source, AGGRESSIVE, plan=_with_coalesce(plan, False)
+    )
+    assert nocoalesce == reference, (
+        f"{name}: per-write (coalesce off) run diverged from interpreter"
+    )
+    assert off_vm.mutation_stats.swaps_coalesced == 0
+    assert on_vm.mutation_stats.tib_swaps <= off_vm.mutation_stats.tib_swaps
 
     cold, cold_vm = _run(spec, source, AGGRESSIVE, plan=plan,
                          cache=str(cache_dir))

@@ -177,3 +177,242 @@ def test_non_state_field_writes_never_fire_hooks():
         "mutation.hooks_fired", 0
     )
     assert fired_final > fired_after  # the counter does work
+
+
+# ---------------------------------------------------------------------------
+# Swap coalescing (deferred re-evaluation for multi-field updates)
+# ---------------------------------------------------------------------------
+
+MULTI_SOURCE = """
+class Employee {
+    double salary;
+    public void raise() { }
+}
+class GradeEmployee extends Employee {
+    private int grade;
+    private int region;
+    GradeEmployee(int g, int r) { grade = g; region = r; }
+    public void moveTo(int g, int r) { grade = g; region = r; }
+    public void note() { salary += 0.125; }
+    public void moveToNoted(int g, int r) { grade = g; this.note(); region = r; }
+    public void raise() {
+        if (grade == 0) {
+            if (region == 0) { salary += 1.0; } else { salary += 1.5; }
+        } else if (grade == 1) {
+            if (region == 0) { salary += 2.0; } else { salary += 2.5; }
+        } else { salary *= 1.01; }
+    }
+}
+class Main {
+    static void main() {
+        GradeEmployee[] emps = new GradeEmployee[8];
+        for (int i = 0; i < 8; i++) { emps[i] = new GradeEmployee(i % 2, i % 2); }
+        for (int r = 0; r < 600; r++) {
+            for (int j = 0; j < 8; j++) { emps[j].raise(); }
+            if (r % 200 == 199) {
+                for (int j = 0; j < 8; j++) { emps[j].moveTo(j % 2, (j + r) % 2); }
+            }
+        }
+        double total = 0.0;
+        for (int j = 0; j < 8; j++) { total += emps[j].salary; }
+        Sys.print("" + total);
+    }
+}
+"""
+
+
+def _multi_vm(coalesce=True, telemetry=None):
+    from repro.mutation.plan import MutationConfig
+
+    plan = build_mutation_plan(
+        MULTI_SOURCE, config=MutationConfig(coalesce_swaps=coalesce)
+    )
+    class_plan = plan.classes.get("GradeEmployee")
+    assert class_plan is not None and len(class_plan.instance_fields) == 2, (
+        "plan must select both grade and region — test is vacuous otherwise"
+    )
+    unit = compile_source(MULTI_SOURCE)
+    vm = VM(unit, mutation_plan=plan, adaptive_config=AGGRESSIVE,
+            telemetry=telemetry)
+    vm.initialize()
+    return vm
+
+
+def _check_multi_tib(vm, obj):
+    mcr = vm.mutation_manager.mcrs["GradeEmployee"]
+    values = mcr.read_instance_values(obj)
+    special = mcr.tib_by_instance.get(values)
+    if special is not None:
+        assert obj.tib is special
+    else:
+        assert obj.tib is mcr.rc.class_tib
+
+
+def _hot_pair_differing_in_both(vm):
+    """Two hot instance-value tuples that differ in every field, so a
+    per-write update passes through a different intermediate state."""
+    mcr = vm.mutation_manager.mcrs["GradeEmployee"]
+    states = list(mcr.tib_by_instance)
+    for a in states:
+        for b in states:
+            if all(x != y for x, y in zip(a, b)):
+                return mcr, a, b
+    pytest.skip("no hot-state pair differs in both fields")
+
+
+def _move_args(mcr, values):
+    """moveTo(g, r) argument order from the plan's field order."""
+    by_name = dict(zip(
+        (s.field_name for s in mcr.plan.instance_fields), values
+    ))
+    return [by_name["grade"], by_name["region"]]
+
+
+def test_multi_field_update_swaps_once_per_region():
+    vm = _multi_vm(coalesce=True)
+    mcr, a, b = _hot_pair_differing_in_both(vm)
+    rc = mcr.rc
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/2"].compiled.invoke(vm, [obj] + _move_args(mcr, a))
+    _check_multi_tib(vm, obj)
+    move = rc.own_methods["moveTo"].compiled
+    for target in (b, a, b, a):
+        swaps_before = vm.mutation_stats.tib_swaps
+        coalesced_before = vm.mutation_stats.swaps_coalesced
+        move.invoke(vm, [obj] + _move_args(mcr, target))
+        _check_multi_tib(vm, obj)
+        assert vm.mutation_stats.tib_swaps == swaps_before + 1, (
+            "a two-field update region must swap exactly once"
+        )
+        assert vm.mutation_stats.swaps_coalesced == coalesced_before + 1
+
+
+def test_per_write_mode_swaps_twice_per_region():
+    """The control: with coalescing off, the same region re-evaluates at
+    both writes (both hot states differ in both fields, so each write
+    lands on a different TIB)."""
+    vm = _multi_vm(coalesce=False)
+    mcr, a, b = _hot_pair_differing_in_both(vm)
+    rc = mcr.rc
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/2"].compiled.invoke(vm, [obj] + _move_args(mcr, a))
+    move = rc.own_methods["moveTo"].compiled
+    swaps_before = vm.mutation_stats.tib_swaps
+    move.invoke(vm, [obj] + _move_args(mcr, b))
+    _check_multi_tib(vm, obj)
+    assert vm.mutation_stats.tib_swaps == swaps_before + 2
+    assert vm.mutation_stats.swaps_coalesced == 0
+
+
+@pytest.mark.parametrize("seed", [5, 77])
+def test_identical_tibs_with_coalescing_on_and_off(seed):
+    """Driving two VMs — coalescing on and off — through the same write
+    sequence leaves their objects on corresponding TIBs after every
+    region (re-evaluation from final values loses nothing)."""
+    vm_on = _multi_vm(coalesce=True)
+    vm_off = _multi_vm(coalesce=False)
+    objs = []
+    for vm in (vm_on, vm_off):
+        rc = vm.classes["GradeEmployee"]
+        obj = rc.allocate(vm)
+        rc.own_methods["<init>/2"].compiled.invoke(vm, [obj, 0, 0])
+        objs.append((vm, rc, obj))
+    rng = random.Random(seed)
+    for _ in range(200):
+        method = rng.choice(["moveTo", "moveToNoted", "raise"])
+        args = [rng.randrange(4), rng.randrange(4)] \
+            if method != "raise" else []
+        keys = []
+        for vm, rc, obj in objs:
+            rc.own_methods[method].compiled.invoke(vm, [obj] + args)
+            _check_multi_tib(vm, obj)
+            mcr = vm.mutation_manager.mcrs["GradeEmployee"]
+            keys.append(mcr.read_instance_values(obj))
+        assert keys[0] == keys[1]
+    assert vm_on.mutation_stats.swaps_coalesced > 0
+    assert vm_off.mutation_stats.swaps_coalesced == 0
+    assert (
+        vm_on.mutation_stats.tib_swaps <= vm_off.mutation_stats.tib_swaps
+    )
+
+
+def test_call_between_writes_is_a_barrier():
+    """moveToNoted calls a method between its two state writes, so the
+    first write must keep the re-evaluating hook (the callee dispatches
+    through the TIB, which therefore has to be fresh)."""
+    from repro.bytecode.opcodes import Op
+
+    vm = _multi_vm(coalesce=True)
+    manager = vm.mutation_manager
+    assert manager._deferred_hook is not None, (
+        "coalescing never engaged — test is vacuous"
+    )
+
+    def hooks_of(method_key):
+        minfo = vm.unit.classes["GradeEmployee"].methods[method_key]
+        return [
+            instr.state_hook
+            for instr in minfo.code
+            if instr.op is Op.PUTFIELD and instr.state_hook is not None
+        ]
+
+    plain = hooks_of("moveTo")
+    assert plain[0] is manager._deferred_hook
+    assert plain[-1] is manager._instance_hook
+    noted = hooks_of("moveToNoted")
+    assert all(h is manager._instance_hook for h in noted), (
+        "a call between state writes must bar deferral"
+    )
+    # Behavioral half: the barrier region re-evaluates at both writes.
+    mcr, a, b = _hot_pair_differing_in_both(vm)
+    rc = mcr.rc
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/2"].compiled.invoke(vm, [obj] + _move_args(mcr, a))
+    swaps_before = vm.mutation_stats.tib_swaps
+    rc.own_methods["moveToNoted"].compiled.invoke(
+        vm, [obj] + _move_args(mcr, b)
+    )
+    _check_multi_tib(vm, obj)
+    assert vm.mutation_stats.tib_swaps == swaps_before + 2
+
+
+def test_swap_counters_agree_under_telemetry():
+    """Acceptance: manager.tib_swaps, vm.mutation_stats.tib_swaps, and
+    the mutation.tib_swap counter report the same value, and coalescing
+    is visible in both telemetry and VMStats."""
+    vm = _multi_vm(coalesce=True, telemetry=True)
+    vm.run()
+    counters = vm.telemetry.summary()["counters"]
+    assert vm.mutation_stats.tib_swaps > 0
+    assert vm.mutation_manager.tib_swaps == vm.mutation_stats.tib_swaps
+    assert counters["mutation.tib_swap"] == vm.mutation_stats.tib_swaps
+    assert vm.mutation_stats.swaps_coalesced > 0
+    assert (
+        counters["mutation.swaps_coalesced"]
+        == vm.mutation_stats.swaps_coalesced
+    )
+    assert (
+        vm.telemetry.bus.count("swap_coalesced")
+        == vm.mutation_stats.swaps_coalesced
+    )
+
+
+def test_unresolvable_field_write_warns_and_skips_hook():
+    """A PUTFIELD naming a field the unit cannot resolve (stale plan or
+    hand-edited bytecode) must not crash hook installation."""
+    from repro.mutation.manager import MutationManager
+
+    plan = build_mutation_plan(SOURCE)
+    unit = compile_source(SOURCE)
+    vm = VM(unit, adaptive_config=AGGRESSIVE)
+    minfo = unit.classes["SalaryEmployee"].methods["setOther"]
+    from repro.bytecode.opcodes import Op
+
+    target = next(i for i in minfo.code if i.op is Op.PUTFIELD)
+    target.arg = ("Ghost", "nope")
+    manager = MutationManager(vm, plan)
+    with pytest.warns(RuntimeWarning, match="Ghost.nope"):
+        manager.attach()
+    assert target.state_hook is None
+    vm.mutation_manager = manager
+    vm.run()  # the doctored program still executes (slot stays resolved)
