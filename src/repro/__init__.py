@@ -17,15 +17,16 @@ Public API tour:
 
 from repro.lang import compile_source
 from repro.telemetry import Telemetry
-from repro.vm import VM, AdaptiveConfig, RunResult
+from repro.vm import VM, AdaptiveConfig, RunResult, VMConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "VM",
     "AdaptiveConfig",
     "RunResult",
     "Telemetry",
+    "VMConfig",
     "compile_source",
     "__version__",
 ]

@@ -38,7 +38,11 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: v2: unified swap accounting — generated code counts swaps on
 #: ``vm.mutation_stats`` (pin kind ``mutation_stats``); v1 artifacts
 #: wrote ``manager.tib_swaps``, which is now a read-only alias.
-SCHEMA_VERSION = 2
+#: v3: interpreter quickening — quickened bodies and inline-cache cells
+#: are runtime-only and are never persisted (``method_digest`` reads the
+#: pristine ``info.code``), but the stamp is bumped defensively so no
+#: pre-quickening artifact can ever co-mingle with this runtime.
+SCHEMA_VERSION = 3
 
 
 def cache_stamp() -> str:

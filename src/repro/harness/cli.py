@@ -191,12 +191,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.telemetry import format_text_report
+    from repro.telemetry import format_opt_pass_report, format_text_report
 
     spec, _vm, _result, telemetry = _run_instrumented(args)
     print(format_text_report(
         telemetry, title=f"JxVM telemetry: {spec.name}"
     ))
+    budget = format_opt_pass_report(telemetry)
+    if budget:
+        print(budget)
     return 0
 
 

@@ -162,6 +162,11 @@ class MutationManager:
         self._install_ctor_hooks()
         self._publish_lifetime_constants()
         vm.adaptive.recompile_listeners.append(self.on_recompiled)
+        # Mid-run attach (the online controller) converts IMT entries
+        # and installs hooks under live inline caches; flush them so no
+        # site keeps a pre-attach target.  A no-op at VM construction
+        # (the quickener does not exist yet) and when quickening is off.
+        vm.flush_inline_caches()
         tel = _tel_maybe(vm.telemetry)
         if tel is not None:
             tel.metrics.gauge("mutation.mutable_classes").set(
@@ -512,6 +517,11 @@ class MutationManager:
             name = "tib_swap" if to_special else "deopt_to_class_tib"
             tel.emit(name, cls=cls_name)
             tel.count("mutation.tib_swap")
+            elapsed = time.perf_counter() - tel.bus.epoch
+            if elapsed > 0:
+                tel.metrics.gauge("mutation.swap_rate").set(
+                    self.vm.mutation_stats.tib_swaps / elapsed
+                )
             if not to_special:
                 tel.count("mutation.deopt_to_class_tib")
             if start is not None:
@@ -594,6 +604,10 @@ class MutationManager:
                     mcr.rc.class_tib.entries[rm.vtable_offset] = active
                 else:
                     rm.compiled = active
+        # Entries were repointed under unchanged TIB identities — the
+        # one case the paper's swap-as-invalidation trick cannot cover —
+        # so inline caches must forget their targets explicitly.
+        vm.flush_inline_caches()
 
     # ------------------------------------------------------------------
     # Fig. 5: actions at opt2 recompilation of mutable methods
@@ -678,6 +692,9 @@ class MutationManager:
                     special.code_size_bytes,
                 )
                 tel.observe("compile.seconds.special", seconds)
+                tel.metrics.gauge("vm.compile_seconds").set(
+                    vm.compile_stats.total_seconds
+                )
 
     # ------------------------------------------------------------------
 

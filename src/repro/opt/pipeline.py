@@ -57,6 +57,39 @@ class OptConfig:
     inline: InlineConfig = field(default_factory=InlineConfig)
     #: Maximum simplify/constprop/cleanup/DCE fixpoint iterations.
     max_iterations: int = 5
+    #: Compile-time budget gate: skip ``cse``/``boundselim`` when a cheap
+    #: one-scan estimate proves the pass cannot fire (no block holds two
+    #: of the loads / array accesses the pass deduplicates).  The
+    #: estimate is a sound over-approximation — a gated run would have
+    #: been a no-op — so results are identical with the gate on; skipped
+    #: runs are counted under ``opt.pass_gated.*``.  Default off.
+    budget_gate: bool = False
+
+
+def _cse_may_help(fn: Any) -> bool:
+    """Necessary condition for :func:`local_cse` to fire: some block
+    holds at least two CSE-able loads (getfield/getstatic/arraylen)."""
+    for block in fn.block_order():
+        n = 0
+        for instr in block.instrs:
+            if instr.op in ("getfield", "getstatic", "arraylen"):
+                n += 1
+                if n >= 2:
+                    return True
+    return False
+
+
+def _bounds_may_help(fn: Any) -> bool:
+    """Necessary condition for bounds-check elimination to fire: some
+    block holds at least two array accesses."""
+    for block in fn.block_order():
+        n = 0
+        for instr in block.instrs:
+            if instr.op in ("aload", "astore"):
+                n += 1
+                if n >= 2:
+                    return True
+    return False
 
 
 class OptCompiler:
@@ -85,11 +118,22 @@ class OptCompiler:
         tel.observe(f"opt.pass_seconds.{name}", seconds)
         return result
 
+    def _gated(self, name: str) -> None:
+        """Record one budget-gated (skipped) pass run."""
+        tel = _tel_maybe(self.vm.telemetry)
+        if tel is not None:
+            tel.count("opt.pass_gated")
+            tel.count(f"opt.pass_gated.{name}")
+
     def _run_core_pipeline(self, fn) -> None:
         run = self._pass
+        gate = self.config.budget_gate
         for _ in range(self.config.max_iterations):
             changed = run("simplify", simplify, fn)
-            changed += run("cse", local_cse, fn)
+            if gate and not _cse_may_help(fn):
+                self._gated("cse")
+            else:
+                changed += run("cse", local_cse, fn)
             changed += run("constprop", constant_propagation, fn)
             changed += run("cleanup_cfg", cleanup_cfg, fn)
             changed += run("dce", dead_code_elimination, fn)
@@ -135,7 +179,10 @@ class OptCompiler:
         self._run_core_pipeline(fn)
         if opt_level >= 2:
             self._pass("strength", strength_reduce, fn)
-            self._pass("boundselim", eliminate_bounds_checks, fn)
+            if self.config.budget_gate and not _bounds_may_help(fn):
+                self._gated("boundselim")
+            else:
+                self._pass("boundselim", eliminate_bounds_checks, fn)
             self._run_core_pipeline(fn)
         return fn
 

@@ -34,6 +34,7 @@ from repro.telemetry.events import (
     EventBus,
 )
 from repro.telemetry.export import (
+    format_opt_pass_report,
     format_text_report,
     to_chrome_trace,
     to_metrics_json,
@@ -61,6 +62,7 @@ __all__ = [
     "Histogram",
     "Metrics",
     "Telemetry",
+    "format_opt_pass_report",
     "format_text_report",
     "maybe",
     "set_enabled",

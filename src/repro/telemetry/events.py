@@ -19,6 +19,9 @@ name                      emitted when
 ``online_activate``       the online controller derives and attaches a plan
 ``opt_pass``              one optimizer pass ran (carries the duration)
 ``vm_run``                one entry-point execution (carries the duration)
+``quicken``               the quickener rewrote the program's bytecode
+``ic_miss``               a quickened call site's inline cache missed and
+                          re-resolved (carries the receiver's TIB kind)
 ========================= ==================================================
 
 Events live in a bounded ring buffer (:class:`EventBus`); when full, the
@@ -48,6 +51,8 @@ EVENT_NAMES = (
     "online_activate",
     "opt_pass",
     "vm_run",
+    "quicken",
+    "ic_miss",
 )
 
 #: Event name -> Chrome-trace category, for trace-viewer filtering.
@@ -64,6 +69,8 @@ EVENT_CATEGORIES = {
     "compile_end": "compile",
     "opt_pass": "compile",
     "vm_run": "vm",
+    "quicken": "dispatch",
+    "ic_miss": "dispatch",
 }
 
 #: Default ring-buffer capacity.

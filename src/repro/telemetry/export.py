@@ -6,6 +6,9 @@ The Chrome format is the JSON Array/Object format consumed by
 whose entries carry ``name``/``ph``/``ts`` (microseconds)/``pid``/
 ``tid``.  Duration events export as *complete* events (``ph: "X"`` with
 ``dur``); everything else as thread-scoped instants (``ph: "i"``).
+Gauge histories export as counter events (``ph: "C"``) so swap rate,
+cumulative compile seconds, and IC hit rate render as counter tracks
+over the same timeline in Perfetto.
 """
 
 from __future__ import annotations
@@ -60,6 +63,26 @@ def to_chrome_trace(telemetry: Telemetry,
             entry["ts"] = ts_us
             entry["s"] = "t"
         trace_events.append(entry)
+    # Counter tracks: replay each gauge's bounded history as "C" events.
+    # Gauge samples carry raw perf_counter timestamps; rebase them onto
+    # the event-bus epoch so they share the events' time axis.  Samples
+    # taken before the bus existed clamp to 0, non-numeric gauges skip.
+    epoch = telemetry.bus.epoch
+    for name, gauge in sorted(telemetry.metrics.gauges.items()):
+        for sample_ts, value in gauge.history:
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            trace_events.append({
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": max(0.0, (sample_ts - epoch) * 1e6),
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": {"value": value},
+            })
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -122,6 +145,48 @@ def format_text_report(telemetry: Telemetry,
                         for b in populated
                     )
                 )
+    return "\n".join(lines)
+
+
+def format_opt_pass_report(telemetry: Telemetry) -> str:
+    """The optimizer-pass budget report ``jx stats`` appends.
+
+    Ranks every ``opt.pass_seconds.*`` histogram by total seconds spent,
+    so the most expensive pass tops the table, and lists how many runs
+    the ``OptConfig.budget_gate`` estimate skipped.  Empty string when
+    the run never invoked the optimizer.
+    """
+    summary = telemetry.summary()
+    prefix = "opt.pass_seconds."
+    rows = [
+        (name[len(prefix):], h["count"], h["sum"], h["mean"])
+        for name, h in summary["histograms"].items()
+        if name.startswith(prefix)
+    ]
+    if not rows:
+        return ""
+    rows.sort(key=lambda r: r[2], reverse=True)
+    total = sum(r[2] for r in rows) or 1.0
+    lines = ["opt pass budget (ranked by total seconds):"]
+    lines.append(
+        f"  {'pass':12s} {'runs':>6s} {'total s':>11s} "
+        f"{'mean s':>11s} {'share':>7s}"
+    )
+    for name, count, total_s, mean in rows:
+        lines.append(
+            f"  {name:12s} {count:>6d} {total_s:>11.6f} "
+            f"{mean:>11.6f} {total_s / total:>6.1%}"
+        )
+    gated = {
+        name.rsplit(".", 1)[1]: value
+        for name, value in summary["counters"].items()
+        if name.startswith("opt.pass_gated.")
+    }
+    if gated:
+        lines.append(
+            "  budget-gated (skipped as provably no-op): "
+            + ", ".join(f"{k}={v}" for k, v in sorted(gated.items()))
+        )
     return "\n".join(lines)
 
 

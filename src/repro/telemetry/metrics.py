@@ -8,7 +8,13 @@ any metric lookup — see the overhead contract in DESIGN.md).
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from typing import Any, Iterable
+
+#: Samples retained per gauge for counter-track export; when full the
+#: oldest samples drop, so gauge memory stays O(capacity) like events.
+GAUGE_HISTORY_CAPACITY = 1024
 
 #: Default histogram bucket upper bounds for second-valued timings:
 #: 1µs .. 10s, decade-spaced with a 3x midpoint (fine enough for both
@@ -39,16 +45,28 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins).
 
-    __slots__ = ("name", "value")
+    Every ``set`` also appends a ``(perf_counter, value)`` sample to a
+    bounded history, so exporters can replay the gauge as a counter
+    track over the run's timeline (Chrome-trace ``"C"`` events — see
+    ``repro.telemetry.export.to_chrome_trace``).  Timestamps are raw
+    :func:`time.perf_counter` readings; the exporter rebases them onto
+    the event bus epoch.
+    """
+
+    __slots__ = ("name", "value", "history")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Any = 0
+        self.history: deque[tuple[float, Any]] = deque(
+            maxlen=GAUGE_HISTORY_CAPACITY
+        )
 
     def set(self, value: Any) -> None:
         self.value = value
+        self.history.append((time.perf_counter(), value))
 
 
 class Histogram:

@@ -6,7 +6,7 @@ from repro.vm.imt import IMT, IMT_SLOTS, imt_slot_for
 from repro.vm.intrinsics import INTRINSICS, IntrinsicContext
 from repro.vm.jtoc import JTOC
 from repro.vm.linker import LinkError, Linker, RuntimeClass, RuntimeMethod
-from repro.vm.runtime import VM, RunResult
+from repro.vm.runtime import VM, RunResult, VMConfig
 from repro.vm.tib import TIB, TIBSpaceTracker
 from repro.vm.values import (
     ArrayBoundsError,
@@ -41,6 +41,7 @@ __all__ = [
     "TIBSpaceTracker",
     "VM",
     "VMArray",
+    "VMConfig",
     "VMObject",
     "VMRuntimeError",
     "imt_slot_for",

@@ -191,6 +191,9 @@ class AdaptiveSystem:
                     "compile.code_bytes", new_cm.code_size_bytes
                 )
                 tel.observe(f"compile.seconds.opt{opt_level}", seconds)
+                tel.metrics.gauge("vm.compile_seconds").set(
+                    vm.compile_stats.total_seconds
+                )
             vm.installer.install_general(rm, new_cm)
             for listener in self.recompile_listeners:
                 listener(rm, opt_level)

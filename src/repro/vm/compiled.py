@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.vm.interpreter import interpret, interpret_quick
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bytecode.classfile import MethodInfo
 
@@ -90,25 +92,24 @@ class BaselineCompiled(CompiledMethod):
         super().__init__(rm, code_size_bytes=len(rm.info.code) * 4)
 
     def invoke(self, vm: Any, args: list[Any]) -> Any:
-        from repro.vm.interpreter import interpret
-
         rm = self.rm
         samples = rm.samples
         samples.invocations += 1
         samples.ticks += ENTRY_TICKS
         if samples.ticks >= samples.threshold:
             vm.adaptive.on_hot(rm)
+        run = interpret if rm.quick_code is None else interpret_quick
         tel = vm.telemetry
         if tel is not None and tel.enabled:
             # Interpreter-tick accounting: entry ticks here, backedge
             # ticks as the delta accumulated while interpreting.
             tel.count("dispatch.opt0")
             before = samples.ticks
-            result = interpret(vm, rm, args)
+            result = run(vm, rm, args)
             tel.count("interp.ticks",
                       ENTRY_TICKS + samples.ticks - before)
         else:
-            result = interpret(vm, rm, args)
+            result = run(vm, rm, args)
         hook = rm.ctor_exit_hook
         if hook is not None:
             hook(vm, args[0])

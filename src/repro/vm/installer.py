@@ -32,7 +32,13 @@ class CodeInstaller:
         self.vm = vm
 
     def install_general(self, rm: Any, new_cm: Any) -> None:
-        """Make ``new_cm`` the method's one valid general compiled method."""
+        """Make ``new_cm`` the method's one valid general compiled method.
+
+        Every install path here patches table entries *in place* (TIB
+        identities unchanged), so quickened call sites must drop their
+        cached targets — the paper's swap-as-invalidation trick only
+        covers TIB-pointer moves, not entry overwrites.
+        """
         rm.compiled = new_cm
         rm.general = new_cm
         info = rm.info
@@ -54,14 +60,17 @@ class CodeInstaller:
                 tib.entries[offset] = new_cm
             if key in rc.imt_slot_of:
                 rc.imt.patch_direct(key, new_cm)
+        self.vm.flush_inline_caches()
 
     def install_special_in_tib(self, rc: Any, rm: Any, state_key: Any,
                                special_cm: Any) -> None:
         """Point one special TIB's entry for ``rm`` at specialized code."""
         tib = rc.special_tibs[state_key]
         tib.entries[rm.vtable_offset] = special_cm
+        self.vm.flush_inline_caches()
 
     def reset_special_tib_entry(self, rc: Any, rm: Any, state_key: Any) -> None:
         """Point one special TIB's entry back at the general code."""
         tib = rc.special_tibs[state_key]
         tib.entries[rm.vtable_offset] = rm.compiled
+        self.vm.flush_inline_caches()

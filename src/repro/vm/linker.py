@@ -55,6 +55,8 @@ class RuntimeMethod:
         "is_mutable",
         "num_state_fields",
         "compile_history",
+        "quick_code",
+        "quick_pad",
     )
 
     def __init__(self, info: MethodInfo, rclass: "RuntimeClass") -> None:
@@ -78,6 +80,13 @@ class RuntimeMethod:
         self.is_mutable = False
         #: (opt_level, wall seconds) per recompilation, for Fig. 11.
         self.compile_history: list[tuple[int, float]] = []
+        #: Quickened body (:mod:`repro.bytecode.quicken`): a runtime-only
+        #: shadow of ``info.code`` with inline-cache call/field sites and
+        #: fused superinstructions; ``None`` when quickening is off.
+        self.quick_code: list | None = None
+        #: Precomputed ``[None] * (max_locals - num_args)`` so the
+        #: quickened frame prologue builds its locals with one concat.
+        self.quick_pad: list | None = None
 
     @property
     def qualified_name(self) -> str:

@@ -37,6 +37,23 @@ from repro.vm.values import VMRuntimeError
 _MIN_RECURSION_LIMIT = 20000
 
 
+def _quicken_default() -> bool:
+    """Quickening defaults on; ``JX_QUICKEN=0`` disables it globally."""
+    return os.environ.get("JX_QUICKEN", "1") != "0"
+
+
+@dataclass
+class VMConfig:
+    """VM-level execution tunables (the adaptive system has its own
+    :class:`~repro.vm.adaptive.AdaptiveConfig`)."""
+
+    #: Rewrite interpreted bytecode into quickened forms with TIB-keyed
+    #: inline caches and fused superinstructions
+    #: (:mod:`repro.bytecode.quicken`).  Off, the VM runs exactly the
+    #: pre-quickening interpreter.
+    quicken: bool = field(default_factory=_quicken_default)
+
+
 @dataclass
 class RunResult:
     """Outcome of one entry-point execution."""
@@ -72,6 +89,7 @@ class VM:
         seed: int = 42,
         telemetry: Any = None,
         compile_cache: Any = None,
+        config: VMConfig | None = None,
     ) -> None:
         if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
@@ -109,15 +127,35 @@ class VM:
         self._opt_compiler: Any = None
         self.mutation_manager: Any = None
         self.mutation_stats = VMStats()
+        self.config = config or VMConfig()
+        self.quickener: Any = None
         if mutation_plan is not None:
             from repro.mutation.manager import MutationManager
 
             self.mutation_manager = MutationManager(self, mutation_plan)
             self.mutation_manager.attach()
         self.adaptive.prime_all()
+        # Quickening runs last: hooks are installed and special TIBs
+        # exist, so the quickened bodies see the final link state.  The
+        # quickener registry is what install paths flush when they patch
+        # dispatch-table entries in place.
+        if self.config.quicken:
+            from repro.bytecode.quicken import Quickener
+
+            self.quickener = Quickener(self)
+            self.quickener.quicken_all()
         self._initialized = False
 
     # ------------------------------------------------------------------
+
+    def flush_inline_caches(self) -> None:
+        """Reset every inline-cache key.  Called by the code installer
+        and the mutation manager whenever dispatch-table entries are
+        patched *in place* (TIB identity unchanged) so no site keeps a
+        stale cached target; a no-op when quickening is off."""
+        quickener = self.quickener
+        if quickener is not None:
+            quickener.flush()
 
     @property
     def opt_compiler(self) -> Any:

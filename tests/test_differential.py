@@ -9,7 +9,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro import VM, compile_source
+from repro import VM, VMConfig, compile_source
 from repro.mutation import build_mutation_plan
 from repro.mutation.plan import MutationPlan
 from repro.workloads import PAPER_ORDER, get_workload
@@ -18,10 +18,10 @@ from tests.helpers import AGGRESSIVE, INTERP_ONLY, OPT1_ONLY
 SCALE = 0.03
 
 
-def _run(spec, source, adaptive, plan=None, cache=None):
+def _run(spec, source, adaptive, plan=None, cache=None, config=None):
     unit = compile_source(source, entry_class=spec.entry_class)
     vm = VM(unit, mutation_plan=plan, adaptive_config=adaptive,
-            compile_cache=cache)
+            compile_cache=cache, config=config)
     return vm.run().output, vm
 
 
@@ -46,6 +46,19 @@ def test_all_configurations_byte_identical(name, tmp_path):
     reference, _ = _run(spec, source, INTERP_ONLY)
     assert reference, f"{name}: interpreter produced no output"
 
+    quick, quick_vm = _run(spec, source, INTERP_ONLY,
+                           config=VMConfig(quicken=True))
+    assert quick == reference, (
+        f"{name}: quickened interpreter diverged"
+    )
+    assert quick_vm.quickener is not None
+    noquick, noquick_vm = _run(spec, source, INTERP_ONLY,
+                               config=VMConfig(quicken=False))
+    assert noquick == reference, (
+        f"{name}: quicken-off interpreter diverged"
+    )
+    assert noquick_vm.quickener is None
+
     opt1, _ = _run(spec, source, OPT1_ONLY)
     assert opt1 == reference, f"{name}: opt1 diverged from interpreter"
 
@@ -67,6 +80,14 @@ def test_all_configurations_byte_identical(name, tmp_path):
     )
     assert off_vm.mutation_stats.swaps_coalesced == 0
     assert on_vm.mutation_stats.tib_swaps <= off_vm.mutation_stats.tib_swaps
+
+    special_noquick, _ = _run(
+        spec, source, AGGRESSIVE, plan=_with_coalesce(plan, True),
+        config=VMConfig(quicken=False),
+    )
+    assert special_noquick == reference, (
+        f"{name}: specialized quicken-off run diverged"
+    )
 
     cold, cold_vm = _run(spec, source, AGGRESSIVE, plan=plan,
                          cache=str(cache_dir))

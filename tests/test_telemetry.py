@@ -148,7 +148,7 @@ def test_chrome_trace_schema():
     events = trace["traceEvents"]
     for entry in events:
         assert {"name", "ph", "pid", "tid"} <= set(entry)
-        assert entry["ph"] in ("M", "i", "X")
+        assert entry["ph"] in ("M", "i", "X", "C")
         if entry["ph"] != "M":
             assert isinstance(entry["ts"], float)
     by_name = {e["name"]: e for e in events}
@@ -160,6 +160,55 @@ def test_chrome_trace_schema():
         by_name["tib_swap"]["ts"] - x["dur"], abs=1e6
     )
     assert "compile_end" in text and "process_name" in text
+
+
+def test_gauge_history_is_bounded_and_ordered():
+    from repro.telemetry.metrics import GAUGE_HISTORY_CAPACITY, Gauge
+
+    g = Gauge("g")
+    for i in range(GAUGE_HISTORY_CAPACITY + 10):
+        g.set(i)
+    assert g.value == GAUGE_HISTORY_CAPACITY + 9
+    assert len(g.history) == GAUGE_HISTORY_CAPACITY
+    timestamps = [ts for ts, _ in g.history]
+    assert timestamps == sorted(timestamps)
+    assert [v for _, v in g.history][-1] == g.value
+
+
+def test_chrome_trace_counter_tracks_from_gauges():
+    """Gauge histories export as ``ph: "C"`` counter events so swap
+    rate, cumulative compile seconds, and IC hit rate plot as Perfetto
+    counter tracks on the same timeline as the events."""
+    source = get_workload("salarydb").source(0.05)
+    plan = build_mutation_plan(source)
+    vm = VM(compile_source(source), mutation_plan=plan,
+            adaptive_config=AGGRESSIVE, telemetry=True)
+    vm.run()
+    trace = to_chrome_trace(vm.telemetry)
+    json.dumps(trace)  # still JSON-serializable with counter samples
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert counters, "instrumented run produced no counter samples"
+    tracks = {e["name"] for e in counters}
+    assert {"mutation.swap_rate", "vm.compile_seconds",
+            "ic.hit_rate"} <= tracks
+    for name in tracks:
+        samples = [e for e in counters if e["name"] == name]
+        ts = [e["ts"] for e in samples]
+        assert ts == sorted(ts) and all(t >= 0 for t in ts)
+        assert all(
+            isinstance(e["args"]["value"], (int, float))
+            for e in samples
+        )
+    # The compile-seconds track is cumulative, so it never decreases.
+    compile_track = [
+        e["args"]["value"] for e in counters
+        if e["name"] == "vm.compile_seconds"
+    ]
+    assert len(compile_track) >= 2
+    assert compile_track == sorted(compile_track)
+    rates = [e["args"]["value"] for e in counters
+             if e["name"] == "ic.hit_rate"]
+    assert all(0.0 <= r <= 1.0 for r in rates)
 
 
 def test_metrics_json_roundtrips():

@@ -15,7 +15,7 @@ import pytest
 
 from repro import VM, compile_source
 from repro.mutation import build_mutation_plan
-from tests.helpers import AGGRESSIVE
+from tests.helpers import AGGRESSIVE, INTERP_ONLY
 
 SOURCE = """
 class Employee {
@@ -395,6 +395,150 @@ def test_swap_counters_agree_under_telemetry():
         vm.telemetry.bus.count("swap_coalesced")
         == vm.mutation_stats.swaps_coalesced
     )
+
+
+# ---------------------------------------------------------------------------
+# Inline caches under TIB mutation (quickened dispatch)
+# ---------------------------------------------------------------------------
+
+#: SOURCE plus a static caller whose INVOKEVIRTUAL body goes through a
+#: TIB-keyed inline cache — the receivers below are SalaryEmployee
+#: objects whose TIB pointer swaps between special and class TIBs.
+IC_SOURCE = SOURCE.replace(
+    "class Main {",
+    """class Driver {
+    static void call(Employee e) { e.raise(); }
+}
+class Main {""",
+)
+
+
+def _ic_vm(quicken=True, telemetry=None, adaptive=AGGRESSIVE):
+    from repro import VMConfig
+
+    plan = build_mutation_plan(IC_SOURCE)
+    vm = VM(compile_source(IC_SOURCE), mutation_plan=plan,
+            adaptive_config=adaptive, telemetry=telemetry,
+            config=VMConfig(quicken=quicken))
+    vm.initialize()
+    return vm
+
+
+def _salary_objs(vm, grades):
+    rc = vm.classes["SalaryEmployee"]
+    objs = []
+    for g in grades:
+        obj = rc.allocate(vm)
+        rc.own_methods["<init>/1"].compiled.invoke(vm, [obj, g])
+        objs.append(obj)
+    return rc, objs
+
+
+@pytest.mark.parametrize("seed", [3, 21, 99])
+def test_random_write_call_sequences_quicken_on_off_identical(seed):
+    """Quickening is a pure dispatch-layer change: the same random mix
+    of state writes and virtual calls leaves both VMs with identical
+    field values, corresponding TIB states, and the same swap count."""
+    vm_on = _ic_vm(quicken=True)
+    vm_off = _ic_vm(quicken=False)
+    sides = [(vm,) + _salary_objs(vm, (0, 1, 2, 3))
+             for vm in (vm_on, vm_off)]
+    grade_slot = vm_on.unit.lookup_field("SalaryEmployee", "grade").slot
+    rng = random.Random(seed)
+    for _ in range(250):
+        idx = rng.randrange(4)
+        op = rng.randrange(4)
+        arg = rng.randrange(10)
+        for vm, rc, objs in sides:
+            obj = objs[idx]
+            if op == 0:
+                rc.own_methods["promote"].compiled.invoke(vm, [obj])
+            elif op == 1:
+                rc.own_methods["demoteTo"].compiled.invoke(vm, [obj, arg])
+            elif op == 2:
+                rc.own_methods["setOther"].compiled.invoke(vm, [obj, arg])
+            else:
+                vm.call_static("Driver", "call", [obj])
+        (vm_a, rc_a, objs_a), (vm_b, rc_b, objs_b) = sides
+        for oa, ob in zip(objs_a, objs_b):
+            assert oa.fields == ob.fields
+            assert oa.tib.is_special == ob.tib.is_special
+            _check_tib_matches_state(vm_a, rc_a, oa, grade_slot)
+            _check_tib_matches_state(vm_b, rc_b, ob, grade_slot)
+    assert vm_on.mutation_stats.tib_swaps == vm_off.mutation_stats.tib_swaps
+    assert vm_on.run().output == vm_off.run().output
+
+
+def test_megamorphic_site_with_four_receiver_tibs():
+    """One class, four hot states: the same call site sees >= 4 distinct
+    receiver TIBs (the paper's special TIBs), crosses the 2-entry cache,
+    and de-quickens — while every dispatch stays correct."""
+    from repro.bytecode.opcodes import Op
+
+    # Interpreter-only: a promotion would route the site through
+    # generated code and the interpreted IC would never fill.
+    vm = _ic_vm(telemetry=True, adaptive=INTERP_ONLY)
+    rc, objs = _salary_objs(vm, (0, 1, 2, 3))
+    tibs = {o.tib for o in objs}
+    assert len(tibs) >= 4 and all(t.is_special for t in tibs), (
+        "grades 0-3 must each sit on a distinct special TIB"
+    )
+    for obj in objs:
+        vm.call_static("Driver", "call", [obj])
+    counters = vm.telemetry.summary()["counters"]
+    assert counters["ic.megamorphic"] >= 1
+    ic = next(
+        c for c in vm.quickener.caches
+        if c.site_name.startswith("Driver.call")
+    )
+    quick = vm.classes["Driver"].own_methods["call"].quick_code
+    assert quick[ic.index] is ic.original
+    assert quick[ic.index].op is Op.INVOKEVIRTUAL
+    # Correctness through and past the transition: grade-0 raise adds
+    # 1.0 each call; run one more full round on the de-quickened site.
+    salary_slot = vm.unit.lookup_field("Employee", "salary").slot
+    before = objs[0].fields[salary_slot]
+    vm.call_static("Driver", "call", [objs[0]])
+    assert objs[0].fields[salary_slot] == before + 1.0
+
+
+def test_ic_miss_follows_deopt_to_class_tib():
+    """A swap back to the class TIB is *automatically* an IC miss: the
+    next call arrives with a different cache key, re-resolves, and
+    invokes the class-TIB entry — the event stream shows the hot-state
+    miss, then the deopt swap, then the class-TIB miss, in that order."""
+    vm = _ic_vm(telemetry=True, adaptive=INTERP_ONLY)
+    rc, (obj,) = _salary_objs(vm, (1,))
+    assert obj.tib.is_special
+    special_tib = obj.tib
+    ic = next(
+        c for c in vm.quickener.caches
+        if c.site_name.startswith("Driver.call")
+    )
+
+    before = len(vm.telemetry.bus.events())
+    vm.call_static("Driver", "call", [obj])   # miss: records special TIB
+    assert ic.k0 is special_tib
+    vm.call_static("Driver", "call", [obj])   # hit: no new miss event
+    rc.own_methods["demoteTo"].compiled.invoke(vm, [obj, 9])  # cold state
+    assert obj.tib is rc.class_tib
+    vm.call_static("Driver", "call", [obj])   # miss: class-TIB entry
+    assert ic.k1 is rc.class_tib
+
+    interesting = [
+        (e.name, e.args.get("special"))
+        for e in vm.telemetry.bus.events()[before:]
+        if e.name in ("ic_miss", "deopt_to_class_tib")
+    ]
+    assert interesting == [
+        ("ic_miss", True),
+        ("deopt_to_class_tib", None),
+        ("ic_miss", False),
+    ]
+    counters = vm.telemetry.summary()["counters"]
+    assert counters["ic.miss"] >= 2
+    assert counters["ic.hit"] >= 1
+    assert counters["mutation.tib_swap"] == vm.mutation_stats.tib_swaps
 
 
 def test_unresolvable_field_write_warns_and_skips_hook():
