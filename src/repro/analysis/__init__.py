@@ -1,0 +1,61 @@
+"""repro.analysis — CFG/dataflow static-analysis framework.
+
+A whole-program analysis layer over the bytecode IR:
+
+* :mod:`.cfg` — instruction-level CFGs with branch and exception edges
+  (pristine and quickened bodies);
+* :mod:`.dataflow` — a generic forward/backward worklist engine with
+  configurable lattices;
+* :mod:`.escape` — flow-sensitive escape analysis for private reference
+  fields (backs the lifetime-constant analysis);
+* :mod:`.specsafety` — hook-completeness and specialization-safety
+  proofs (also the fact source for swap coalescing and the attach-time
+  plan audit);
+* :mod:`.estimates` — the optimizer's budget-gate benefit estimates;
+* :mod:`.lint` — the ``jx lint`` aggregation over a built VM.
+"""
+
+from repro.analysis.cfg import MAY_RAISE, InstrCFG, may_raise
+from repro.analysis.dataflow import solve_backward, solve_forward
+from repro.analysis.escape import RefFieldFacts, analyze_ref_fields
+from repro.analysis.estimates import bounds_may_help, cse_may_help
+from repro.analysis.findings import Finding
+from repro.analysis.lint import (
+    ctor_hook_findings,
+    lint_source,
+    lint_vm,
+    lint_workload,
+    quick_code_findings,
+)
+from repro.analysis.specsafety import (
+    TIB_TRANSPARENT,
+    audit_attached_plans,
+    deferral_is_safe,
+    lifetime_findings,
+    must_reach_states,
+    site_findings,
+)
+
+__all__ = [
+    "MAY_RAISE",
+    "InstrCFG",
+    "may_raise",
+    "solve_backward",
+    "solve_forward",
+    "RefFieldFacts",
+    "analyze_ref_fields",
+    "bounds_may_help",
+    "cse_may_help",
+    "Finding",
+    "ctor_hook_findings",
+    "lint_source",
+    "lint_vm",
+    "lint_workload",
+    "quick_code_findings",
+    "TIB_TRANSPARENT",
+    "audit_attached_plans",
+    "deferral_is_safe",
+    "lifetime_findings",
+    "must_reach_states",
+    "site_findings",
+]

@@ -1,0 +1,123 @@
+"""Instruction-level control-flow graphs over Jx bytecode.
+
+Unlike :class:`repro.opt.bytecode_cfg.BytecodeCFG` (block-level, built
+for the IR lowering and the EQ1 loop-depth weighting), this CFG is
+**instruction-granular** and carries the two edge kinds the static
+checks care about:
+
+* **normal edges** — fall-through and branch successors, with every
+  terminator flowing into a synthetic EXIT node;
+* **exception edges** — from each potentially-raising instruction to
+  EXIT.  Jx has no catch handlers, so an exception unconditionally
+  unwinds the method; modelling it as an edge to EXIT is exact.
+
+Both pristine ``info.code`` and quickened ``rm.quick_code`` bodies are
+supported: quickened superinstructions cover several slots (widths from
+:data:`repro.bytecode.opcodes.OP_WIDTH`) and the fused compare-jumps /
+loop idioms carry their targets in packed args
+(:func:`repro.bytecode.opcodes.branch_target`).  Fusion is
+slot-preserving, so covered slots still hold valid instructions and a
+branch landing inside a fused region is a legal CFG node.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import (
+    CALL_OPS,
+    Op,
+    branch_target,
+    op_width,
+)
+
+#: Instructions that can raise at runtime (and therefore carry an
+#: implicit edge to EXIT): null dereferences (field access, arrays,
+#: dispatch), divide-by-zero / overflow arithmetic, failed casts,
+#: negative array sizes, and anything that runs other code.  This is the
+#: complement of the discipline behind ``coalesce.SAFE_BETWEEN``.
+MAY_RAISE = frozenset({
+    Op.IDIV, Op.IREM, Op.D2I,
+    Op.GETFIELD, Op.PUTFIELD,
+    Op.ALOAD, Op.ASTORE, Op.ARRAYLEN, Op.NEWARRAY,
+    Op.CHECKCAST,
+    Op.INTRINSIC,
+    *CALL_OPS,
+    # Quickened forms of the above.
+    Op.GETFIELD_QUICK, Op.INVOKEVIRTUAL_QUICK, Op.INVOKEINTERFACE_QUICK,
+    Op.LOAD_GETFIELD, Op.ADD_PUTFIELD, Op.FIELD_INC, Op.GETFIELD_RETURN,
+})
+
+#: Opcodes that end the method (flow straight to EXIT).
+_TERMINATORS = frozenset({
+    Op.RETURN, Op.RETURN_VOID,
+    Op.ADD_RETURN, Op.LOAD_RETURN, Op.GETFIELD_RETURN,
+})
+
+#: Conditional branches: both the target and the fall-through survive.
+_COND_BRANCHES = frozenset({
+    Op.JUMP_IF_TRUE, Op.JUMP_IF_FALSE,
+    Op.CMP_LT_JF, Op.CMP_EQ_JF, Op.ITER_LT_JF,
+})
+
+
+def may_raise(instr: Instr) -> bool:
+    """Whether ``instr`` can raise (implicit exception edge to EXIT)."""
+    return instr.op in MAY_RAISE
+
+
+class InstrCFG:
+    """Instruction-level CFG of one code array.
+
+    Nodes are instruction indices ``0..n-1`` plus the synthetic
+    :attr:`exit` node ``n``.  :attr:`succs` holds the *normal*
+    control-flow successors; exception flow is exposed separately via
+    :meth:`raises` / :meth:`all_succs` so analyses can opt in (escape
+    analysis only follows normal flow — an unwinding method performs no
+    further program actions — while region checks must treat a potential
+    raise as leaving the region).
+    """
+
+    def __init__(self, code: list[Instr], *, quick: bool = False) -> None:
+        self.code = code
+        self.quick = quick
+        n = len(code)
+        self.exit = n
+        self.succs: list[list[int]] = [[] for _ in range(n + 1)]
+        self.preds: list[list[int]] = [[] for _ in range(n + 1)]
+        for i, instr in enumerate(code):
+            op = instr.op
+            out: list[int] = []
+            if op in _TERMINATORS:
+                out = [self.exit]
+            elif op is Op.JUMP:
+                out = [instr.arg]
+            elif op in _COND_BRANCHES:
+                fall = i + (op_width(op) if quick else 1)
+                target = branch_target(instr)
+                out = [fall if fall < n else self.exit, target]
+            else:
+                fall = i + (op_width(op) if quick else 1)
+                out = [fall if fall < n else self.exit]
+            self.succs[i] = out
+            for s in out:
+                self.preds[s].append(i)
+
+    def __len__(self) -> int:
+        return len(self.code) + 1  # including EXIT
+
+    def raises(self, i: int) -> bool:
+        """Whether node ``i`` has an exception edge to EXIT."""
+        return i != self.exit and may_raise(self.code[i])
+
+    def all_succs(self, i: int) -> list[int]:
+        """Normal successors plus the exception edge, when present."""
+        if self.raises(i) and self.exit not in self.succs[i]:
+            return self.succs[i] + [self.exit]
+        return self.succs[i]
+
+    def forward_succs(self, i: int) -> list[int]:
+        """Normal successors with every backward edge redirected to
+        EXIT.  The resulting graph is acyclic, which makes "must reach X
+        before Y" obligations well-founded (no two instructions can
+        justify each other around a loop)."""
+        return [s if s > i else self.exit for s in self.succs[i]]

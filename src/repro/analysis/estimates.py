@@ -1,0 +1,71 @@
+"""Benefit estimates backing ``OptConfig.budget_gate``.
+
+These are *sound necessary conditions* for an optimization pass to fire,
+computed in one scan so the gate costs less than the pass it skips.
+Soundness contract (pinned by ``tests/test_opt_budget.py``): whenever an
+estimate says "cannot help", running the pass must return 0 changes —
+gated results are bit-identical to ungated ones.
+
+The original estimates counted *op kinds* per block (two ``getfield``s
+of different fields still un-gated CSE).  These count the passes' actual
+dedup keys instead:
+
+* :func:`cse_may_help` — some block repeats a ``getfield`` (base, slot)
+  key, a ``getstatic`` slot, or an ``arraylen`` operand key.  CSE only
+  ever rewrites the *second* load of an identical key, and its
+  invalidation rules (calls, stores, register redefinition) can only
+  shrink the reuse table — so no repeated key ⇒ no rewrite, while the
+  coarse count would un-gate on any two unrelated loads.
+* :func:`bounds_may_help` — some block repeats an ``aload``/``astore``
+  (array, index) operand-key pair; same argument against the
+  bounds-check reuse table.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.opt.cse import _operand_key
+
+
+def cse_may_help(fn: Any) -> bool:
+    """Necessary condition for ``local_cse`` to fire: some block repeats
+    one of its dedup keys."""
+    for block in fn.block_order():
+        field_keys: set = set()
+        static_slots: set = set()
+        len_keys: set = set()
+        for instr in block.instrs:
+            op = instr.op
+            if op == "getfield":
+                key = (_operand_key(instr.args[0]), instr.extra.slot)
+                if key in field_keys:
+                    return True
+                field_keys.add(key)
+            elif op == "getstatic":
+                if instr.extra.slot in static_slots:
+                    return True
+                static_slots.add(instr.extra.slot)
+            elif op == "arraylen":
+                key = _operand_key(instr.args[0])
+                if key in len_keys:
+                    return True
+                len_keys.add(key)
+    return False
+
+
+def bounds_may_help(fn: Any) -> bool:
+    """Necessary condition for bounds-check elimination to fire: some
+    block repeats an (array, index) access pair."""
+    for block in fn.block_order():
+        seen: set = set()
+        for instr in block.instrs:
+            if instr.op in ("aload", "astore"):
+                key = (
+                    _operand_key(instr.args[0]),
+                    _operand_key(instr.args[1]),
+                )
+                if key in seen:
+                    return True
+                seen.add(key)
+    return False

@@ -1,0 +1,26 @@
+"""The finding record shared by every ``jx lint`` check."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One statically-detected violation of a mutation invariant."""
+
+    #: Which client check produced it: ``hook-completeness``,
+    #: ``spec-safety``, ``lifetime-escape``, or ``quick-code``.
+    check: str
+    #: Qualified method name (or class name for class-level findings).
+    where: str
+    #: Instruction index within ``where`` (-1 for non-site findings).
+    index: int
+    #: The state field / plan entity involved, e.g. ``"Employee.kind"``.
+    subject: str
+    message: str
+
+    def format(self) -> str:
+        site = f" @{self.index}" if self.index >= 0 else ""
+        return (f"[{self.check}] {self.where}{site}: "
+                f"{self.subject}: {self.message}")

@@ -18,10 +18,17 @@ from repro.bytecode.disasm import (
     disassemble_class,
     disassemble_method,
     disassemble_program,
+    disassemble_quick,
 )
 from repro.bytecode.instructions import Instr
 from repro.bytecode.opcodes import Op
-from repro.bytecode.verify import VerifyError, verify_method, verify_program
+from repro.bytecode.verify import (
+    VerifyError,
+    verify_method,
+    verify_program,
+    verify_quick,
+    verify_quick_method,
+)
 
 __all__ = [
     "BOOLEAN",
@@ -43,7 +50,10 @@ __all__ = [
     "disassemble_class",
     "disassemble_method",
     "disassemble_program",
+    "disassemble_quick",
     "make_method",
     "verify_method",
     "verify_program",
+    "verify_quick",
+    "verify_quick_method",
 ]

@@ -240,6 +240,52 @@ BRANCH_OPS = frozenset(
 COMMUTATIVE_OPS = frozenset({Op.ADD, Op.MUL, Op.BAND, Op.BOR, Op.BXOR,
                              Op.CMP_EQ, Op.CMP_NE})
 
+#: Code-array slots covered by each opcode.  Superinstructions span the
+#: slots of the instructions they fused (fusion is slot-preserving: the
+#: covered slots keep their original, standalone-correct instructions so
+#: branches may land inside a fused region); every other op covers one.
+#: The widths mirror the ``pc`` increments in ``interpret_quick``.
+OP_WIDTH: dict[Op, int] = {
+    Op.LOAD_GETFIELD: 2,
+    Op.LOAD_LOAD: 2,
+    Op.LOAD_CONST: 2,
+    Op.CMP_LT_JF: 2,
+    Op.CMP_EQ_JF: 2,
+    Op.ADD_STORE: 2,
+    Op.ADD_PUTFIELD: 2,
+    Op.ADD_RETURN: 2,
+    Op.LOAD_RETURN: 2,
+    Op.LOAD_ADD: 2,
+    Op.LOAD_SUB: 2,
+    Op.LOAD_MUL: 2,
+    Op.GETFIELD_RETURN: 3,
+    Op.INC: 4,
+    Op.ITER_LT_JF: 4,
+    Op.FIELD_INC: 6,
+}
+
+
+def op_width(op: Op) -> int:
+    """Code-array slots covered by ``op`` (see :data:`OP_WIDTH`)."""
+    return OP_WIDTH.get(op, 1)
+
+
+def branch_target(instr) -> int | None:
+    """The branch-target index of a (possibly quickened) branch
+    instruction, or ``None`` for non-branches and RETURN-likes.
+
+    Plain branches and the fused compare-jumps carry the target as the
+    whole arg; ``ITER_LT_JF`` packs it as ``arg[2]``.
+    """
+    op = instr.op
+    if op in (Op.JUMP, Op.JUMP_IF_TRUE, Op.JUMP_IF_FALSE,
+              Op.CMP_LT_JF, Op.CMP_EQ_JF):
+        return instr.arg if isinstance(instr.arg, int) else None
+    if op is Op.ITER_LT_JF:
+        return instr.arg[2]
+    return None
+
+
 #: Runtime-only opcodes produced by the quickener; the verifier, the
 #: bytecode-to-IR lowering, and the persistent cache must never see one.
 QUICK_OPS = frozenset({

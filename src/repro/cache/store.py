@@ -42,7 +42,10 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: are runtime-only and are never persisted (``method_digest`` reads the
 #: pristine ``info.code``), but the stamp is bumped defensively so no
 #: pre-quickening artifact can ever co-mingle with this runtime.
-SCHEMA_VERSION = 3
+#: v4: analysis-audit environment — ``environment_payload`` gained the
+#: ``analysis`` entry (audit flag + downgraded classes), changing every
+#: compile key's shape.
+SCHEMA_VERSION = 4
 
 
 def cache_stamp() -> str:

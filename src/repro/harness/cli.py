@@ -64,7 +64,55 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
     unit = compile_source(source, filename=args.file)
-    print(disassemble_program(unit))
+    if not args.quick:
+        print(disassemble_program(unit))
+        return 0
+    # Quickened bodies only exist in a linked, executed VM (quickening
+    # happens at tier-up), so --quick runs the program first.
+    from repro.bytecode import disassemble_quick
+
+    plan = build_mutation_plan(source) if args.mutate else None
+    vm = VM(unit, mutation_plan=plan)
+    vm.run()
+    shown = 0
+    for rc in vm.classes.values():
+        for rm in rc.own_methods.values():
+            if rm.quick_code:
+                print(disassemble_quick(rm))
+                shown += 1
+    if not shown:
+        print("(no quickened methods; quickening disabled or "
+              "nothing reached the quickening tier)")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_source, lint_workload
+
+    targets: list[tuple[str, list]] = []
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            source = handle.read()
+        targets.append((args.file, lint_source(source, filename=args.file)))
+    else:
+        names = args.workloads or [
+            spec.name for spec in all_workloads()
+        ]
+        for name in names:
+            spec = get_workload(name)
+            targets.append((name, lint_workload(spec)))
+    total = 0
+    for name, findings in targets:
+        if findings:
+            total += len(findings)
+            print(f"{name}: {len(findings)} finding(s)")
+            for finding in findings:
+                print(f"  {finding.format()}")
+        else:
+            print(f"{name}: clean")
+    if total and args.strict:
+        print(f"jx lint: {total} finding(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -289,7 +337,26 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("disasm", help="disassemble a Jx source file")
     p.add_argument("file")
+    p.add_argument("--quick", action="store_true",
+                   help="run the program, then disassemble the "
+                        "quickened bodies (superinstructions, packed "
+                        "args, covered slots)")
+    p.add_argument("--mutate", action="store_true",
+                   help="with --quick: run under a mutation plan")
     p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically verify mutation invariants (hook completeness, "
+             "deferral regions, lifetime constants, quick-code hooks)",
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="workloads to lint (default: all)")
+    p.add_argument("--file", default=None,
+                   help="lint a Jx source file instead of workloads")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero if any finding is reported")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("workloads", help="list benchmark workloads")
     p.set_defaults(fn=_cmd_workloads)
@@ -353,7 +420,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (VMRuntimeError, JxError, OSError) as exc:
+    except (VMRuntimeError, JxError, OSError, KeyError) as exc:
         # Workload/compile/IO failures exit nonzero (they used to be
         # unhandled or swallowed into exit code 0).
         print(f"jx: error: {exc}", file=sys.stderr)

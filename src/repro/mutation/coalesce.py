@@ -9,21 +9,30 @@ D'Elia & Demetrescu (OSR à la Carte) defer such code/layout transitions
 to region boundaries; we do the same at hook-installation time.
 
 A hooked PUTFIELD ``D`` may be marked **deferred** (its re-evaluation
-skipped) when a later hooked PUTFIELD ``W`` in the same method provably
-(a) writes the same object and (b) is reached before anything can
-observe the object's TIB.  Both are established conservatively:
+skipped) when every path leaving it provably reaches another hooked
+PUTFIELD on the same receiver local before anything can observe the
+object's TIB.  "Provably" is a CFG fact from
+:func:`repro.analysis.specsafety.must_reach_states`, a backward *must*
+dataflow over the instruction CFG:
 
-* ``D`` and ``W`` must target the same receiver local (via the abstract
-  stack simulation in :mod:`repro.mutation.stacksim`), with no STORE to
-  that local in between — so they dereference the same object, and the
-  final write cannot NPE unless the deferred one already did;
-* every instruction strictly between them must be in
-  :data:`SAFE_BETWEEN` — straight-line, non-raising, no calls and no
-  virtual/interface dispatch.  Any branch (forward or backward), call,
-  potentially-raising op, or other field store is a **barrier**: the
-  deferral region ends and the earlier write keeps its re-evaluating
-  hook.  Dispatch is the crux: specialized code is selected through the
-  TIB, so no dispatch may happen while the TIB is stale.
+* only :data:`SAFE_BETWEEN` instructions (straight-line, non-raising,
+  no calls, no dispatch) and pure branches may sit on the path — any
+  potentially-raising op, call, or other field store is a **barrier**
+  that ends the region.  Dispatch is the crux: specialized code is
+  selected through the TIB, so no dispatch may happen while the TIB is
+  stale;
+* a STORE to the receiver local ends the region (the later write would
+  target a different object);
+* loop back-edges count as leaving the region, so deferral obligations
+  are well-founded: two writes in a loop body cannot justify each other
+  around the back edge, and the justifying write always has a strictly
+  larger index.
+
+Earlier versions treated *any* branch as a barrier (a linear scan over
+the instruction array).  The CFG formulation subsumes that: a diamond
+whose both arms re-write the field now coalesces, while any path that
+actually leaves the region still keeps the re-evaluating hook.  See
+DESIGN.md decision 15.
 
 Because re-evaluation reads the *current* field values (it is
 idempotent and history-free), jumping *into* the middle of a region is
@@ -39,74 +48,40 @@ from __future__ import annotations
 from typing import Any
 
 from repro.bytecode.classfile import MethodInfo
-from repro.bytecode.instructions import Instr
-from repro.bytecode.opcodes import Op
-from repro.mutation.stacksim import StackEvent, SymValue, walk_method
+from repro.analysis.specsafety import (
+    TIB_TRANSPARENT,
+    HookSiteRecorder,
+    deferral_is_safe,
+    must_reach_states,
+)
+from repro.mutation.stacksim import walk_method
 
-#: Opcodes allowed strictly between a deferred state write and the
-#: region's final write.  Everything here is non-raising, transfers no
-#: control, and performs no dispatch — so the stale-TIB window cannot be
-#: observed and execution provably reaches the final write.  Notable
-#: exclusions: IDIV/IREM (divide by zero), D2I (overflow), GETFIELD /
-#: ALOAD / ASTORE / ARRAYLEN / CHECKCAST (null / bounds / cast errors),
-#: all calls and branches, and every other PUTFIELD/PUTSTATIC.
-SAFE_BETWEEN = frozenset({
-    Op.CONST, Op.LOAD, Op.STORE, Op.POP, Op.DUP, Op.SWAP, Op.NOP,
-    Op.ADD, Op.SUB, Op.MUL, Op.FDIV, Op.NEG, Op.I2D,
-    Op.SHL, Op.SHR, Op.BAND, Op.BOR, Op.BXOR,
-    Op.CMP_LT, Op.CMP_LE, Op.CMP_GT, Op.CMP_GE, Op.CMP_EQ, Op.CMP_NE,
-    Op.NOT, Op.CONCAT, Op.GETSTATIC, Op.INSTANCEOF,
-})
-
-
-class _ReceiverRecorder(StackEvent):
-    """Maps each PUTFIELD carrying ``hook`` to its receiver local."""
-
-    def __init__(self, hook: Any) -> None:
-        self.hook = hook
-        #: instruction index -> receiver local slot
-        self.sites: dict[int, int] = {}
-
-    def on_putfield(
-        self, index: int, instr: Instr, receiver: SymValue, value: SymValue
-    ) -> None:
-        if instr.state_hook is not self.hook:
-            return
-        kind = receiver.kind
-        if kind == ("this",):
-            self.sites[index] = 0
-        elif kind[0] == "local":
-            self.sites[index] = kind[1]
-        # Any other receiver shape (fresh allocation, field load, call
-        # result) stays un-deferred — and, being a hooked PUTFIELD, also
-        # acts as a barrier for its neighbors.
+#: Opcodes allowed inside a deferral region (between a deferred state
+#: write and the region's re-evaluating write).  Everything here is
+#: non-raising, transfers no control, and performs no dispatch — so the
+#: stale-TIB window cannot be observed.  Notable exclusions: IDIV/IREM
+#: (divide by zero), D2I (overflow), GETFIELD / ALOAD / ASTORE /
+#: ARRAYLEN / CHECKCAST (null / bounds / cast errors), all calls, and
+#: every other PUTFIELD/PUTSTATIC.  Alias of the analysis package's
+#: single source of truth.
+SAFE_BETWEEN = TIB_TRANSPARENT
 
 
 def deferrable_writes(method: MethodInfo, instance_hook: Any) -> list[int]:
     """Indices of hooked PUTFIELDs in ``method`` whose re-evaluation may
     be deferred to a later write of the same region."""
-    recorder = _ReceiverRecorder(instance_hook)
+    recorder = HookSiteRecorder([instance_hook])
     walk_method(method, recorder)
     if len(recorder.sites) < 2:
         return []
-    code = method.code
     deferred = []
-    ordered = sorted(recorder.sites)
-    for d, w in zip(ordered, ordered[1:]):
-        if recorder.sites[d] != recorder.sites[w]:
-            continue
-        if _region_is_safe(code, d, w, recorder.sites[d]):
-            deferred.append(d)
+    states_by_local: dict[int, list[bool]] = {}
+    for site in sorted(recorder.sites):
+        local = recorder.sites[site]
+        states = states_by_local.get(local)
+        if states is None:
+            states = must_reach_states(method, local, recorder.sites)
+            states_by_local[local] = states
+        if deferral_is_safe(method, site, local, recorder.sites, states):
+            deferred.append(site)
     return deferred
-
-
-def _region_is_safe(
-    code: list, start: int, end: int, receiver_local: int
-) -> bool:
-    for i in range(start + 1, end):
-        instr = code[i]
-        if instr.op not in SAFE_BETWEEN:
-            return False
-        if instr.op is Op.STORE and instr.arg == receiver_local:
-            return False  # the later write targets a different object
-    return True

@@ -196,10 +196,43 @@ class _RefFieldCollector(StackEvent):
                 self.facts[gk].escaped = True
 
 
+def _syntactic_ref_facts(
+    unit: ProgramUnit, cls, candidates: dict
+) -> dict[str, _RefFieldFacts]:
+    """The original linear-walk escape collector (kept for differential
+    testing against the CFG engine; see ``tests/test_analysis.py``).
+
+    Known blind spot: the walker resets its stack at block leaders, so a
+    candidate value that crosses a branch join — e.g. ``g`` below a
+    ternary sub-expression in a call's argument list — is anonymized
+    and its escape can be missed.  The CFG engine has no such reset.
+    """
+    facts = {key: _RefFieldFacts() for key in candidates}
+    g_locals: dict[str, set[int]] = {key: set() for key in candidates}
+    # Fixpoint over g-holding locals (loops can defeat one pass).
+    for _ in range(4):
+        grew = False
+        for method in cls.methods.values():
+            if method.is_abstract or not method.code:
+                continue
+            collector = _RefFieldCollector(unit, facts, g_locals)
+            walk_method(method, collector, unit=unit)
+            grew = grew or collector.grew
+        if not grew:
+            break
+    return facts
+
+
 def analyze_lifetime_constants(
-    unit: ProgramUnit, mutable_classes: list[str]
+    unit: ProgramUnit, mutable_classes: list[str], *, engine: str = "cfg"
 ) -> dict[str, LifetimeConstInfo]:
-    """Run the full Fig. 8 algorithm; returns ref-field key -> info."""
+    """Run the full Fig. 8 algorithm; returns ref-field key -> info.
+
+    ``engine`` selects the escape analysis backing step 2: ``"cfg"``
+    (default) uses the flow-sensitive engine from
+    :mod:`repro.analysis.escape`; ``"syntactic"`` keeps the original
+    linear-scan collector for cross-checking.
+    """
     # Step 1 per mutable class.
     ctor_consts: dict[str, dict[str, dict[str, object]]] = {}
     outside_writes: dict[str, set[str]] = {}
@@ -223,19 +256,12 @@ def analyze_lifetime_constants(
         }
         if not candidates:
             continue
-        facts = {key: _RefFieldFacts() for key in candidates}
-        g_locals: dict[str, set[int]] = {key: set() for key in candidates}
-        # Fixpoint over g-holding locals (loops can defeat one pass).
-        for _ in range(4):
-            grew = False
-            for method in cls.methods.values():
-                if method.is_abstract or not method.code:
-                    continue
-                collector = _RefFieldCollector(unit, facts, g_locals)
-                walk_method(method, collector, unit=unit)
-                grew = grew or collector.grew
-            if not grew:
-                break
+        if engine == "cfg":
+            from repro.analysis.escape import analyze_ref_fields
+
+            facts = analyze_ref_fields(unit, cls, set(candidates))
+        else:
+            facts = _syntactic_ref_facts(unit, cls, candidates)
 
         for key, finfo in candidates.items():
             f = facts[key]

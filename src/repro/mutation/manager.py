@@ -127,6 +127,9 @@ class MutationManager:
         self._deferred_hook: Any = None
         self.static_hooks: dict[str, Any] = {}
         self.ctor_hooks: dict[str, Any] = {}
+        #: class name -> findings that caused the specialization-safety
+        #: audit to downgrade its plan (see :meth:`_audit_hooks`).
+        self.downgraded_classes: dict[str, list] = {}
 
     @property
     def tib_swaps(self) -> int:
@@ -159,6 +162,8 @@ class MutationManager:
             self._mark_mutable_methods(mcr)
             self._convert_imt(mcr)
         self._install_field_hooks()
+        if self.plan.config.audit_hooks:
+            self._audit_hooks()
         self._install_ctor_hooks()
         self._publish_lifetime_constants()
         vm.adaptive.recompile_listeners.append(self.on_recompiled)
@@ -330,6 +335,54 @@ class MutationManager:
                 deferred = self.deferred_state_hook()
             method.code[index].state_hook = deferred
 
+    def _audit_hooks(self) -> None:
+        """Specialization-safety audit (paper-soundness backstop): after
+        hook installation, re-prove on the instruction CFG that every
+        reachable state-field write of every attached plan carries its
+        hook and that every coalesce-deferred hook's barrier-free region
+        holds (:func:`repro.analysis.specsafety.audit_attached_plans`).
+
+        The installer establishes this by construction, so a finding
+        means an installer/coalescer regression or a hand-patched
+        program; either way running specialized code behind an unproven
+        hook set is unsound, so the violating class is **downgraded**
+        instead: its special TIBs are detached and its objects keep the
+        class TIB (correct, merely unspecialized)."""
+        from repro.analysis.specsafety import audit_attached_plans
+
+        for name, findings in sorted(audit_attached_plans(self).items()):
+            self._downgrade_class(name, findings)
+
+    def _downgrade_class(self, name: str, findings: list) -> None:
+        mcr = self.mcrs.pop(name, None)
+        if mcr is None:
+            return
+        self.downgraded_classes[name] = list(findings)
+        rc = mcr.rc
+        rc.special_tibs.clear()
+        mcr.tib_by_instance.clear()
+        for rm in mcr.mutable_rms():
+            rm.is_mutable = False
+        # Installed hooks stay on the bytecode (harmless: the shared
+        # hooks consult the registries below, which no longer know the
+        # class), but the swap machinery is detached.
+        hook = self._instance_hook
+        if hook is not None:
+            hook.reeval_by_class.pop(name, None)
+        for static_hook in self.static_hooks.values():
+            static_hook.mcrs[:] = [
+                m for m in static_hook.mcrs if m is not mcr
+            ]
+        self.vm.mutation_stats.plans_downgraded += 1
+        tel = _tel_maybe(self.vm.telemetry)
+        if tel is not None:
+            tel.count("analysis.plan_downgraded")
+            tel.emit(
+                "plan_downgraded",
+                cls=name,
+                findings=[f.format() for f in findings],
+            )
+
     def _install_ctor_hooks(self) -> None:
         """Fig. 4, first clause: at the end of the constructors of a
         mutable class whose state depends on any instance field.  The
@@ -414,6 +467,9 @@ class MutationManager:
                 if reeval is not None:
                     reeval(obj)
 
+            # Exposed (same dict the closure reads) so a plan downgrade
+            # can detach one class without rebuilding the hook.
+            hook.reeval_by_class = reeval_by_class  # type: ignore[attr-defined]
             return hook
 
         def hook_tel(vm: Any, obj: Any) -> None:
@@ -427,6 +483,7 @@ class MutationManager:
             if reeval is not None:
                 reeval(obj)
 
+        hook_tel.reeval_by_class = reeval_by_class  # type: ignore[attr-defined]
         return hook_tel
 
     def _make_reeval(self, mcr: MutableClassRuntime):
@@ -542,6 +599,9 @@ class MutationManager:
             for mcr in mcrs:
                 self.apply_static_state(mcr)
 
+        # Exposed (same list the closure iterates) so a plan downgrade
+        # can detach one class without rebuilding the hook.
+        hook.mcrs = mcrs  # type: ignore[attr-defined]
         return hook
 
     def reevaluate_object(self, mcr: MutableClassRuntime, obj: Any) -> None:

@@ -52,6 +52,13 @@ class MutationConfig:
     #: :mod:`repro.mutation.coalesce`).  Off reproduces Fig. 4's strict
     #: per-write behavior for differential testing.
     coalesce_swaps: bool = field(default_factory=_coalesce_default)
+    #: Post-installation specialization-safety audit
+    #: (:mod:`repro.analysis.specsafety`): re-prove on the instruction
+    #: CFG that every reachable state-field write of every attached plan
+    #: carries a hook and every deferred hook's region is safe; a class
+    #: that fails is *downgraded* (special TIBs detached) rather than
+    #: run unsound specialized code.
+    audit_hooks: bool = True
 
 
 @dataclass

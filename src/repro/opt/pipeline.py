@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.telemetry.core import maybe as _tel_maybe
 
+from repro.analysis.estimates import bounds_may_help, cse_may_help
 from repro.cache.artifact import (
     UnlinkableArtifact,
     link_opt2,
@@ -58,38 +59,20 @@ class OptConfig:
     #: Maximum simplify/constprop/cleanup/DCE fixpoint iterations.
     max_iterations: int = 5
     #: Compile-time budget gate: skip ``cse``/``boundselim`` when a cheap
-    #: one-scan estimate proves the pass cannot fire (no block holds two
-    #: of the loads / array accesses the pass deduplicates).  The
+    #: one-scan estimate proves the pass cannot fire (no block repeats
+    #: one of the dedup keys the pass reuses — see
+    #: :mod:`repro.analysis.estimates`).  The
     #: estimate is a sound over-approximation — a gated run would have
     #: been a no-op — so results are identical with the gate on; skipped
     #: runs are counted under ``opt.pass_gated.*``.  Default off.
     budget_gate: bool = False
 
 
-def _cse_may_help(fn: Any) -> bool:
-    """Necessary condition for :func:`local_cse` to fire: some block
-    holds at least two CSE-able loads (getfield/getstatic/arraylen)."""
-    for block in fn.block_order():
-        n = 0
-        for instr in block.instrs:
-            if instr.op in ("getfield", "getstatic", "arraylen"):
-                n += 1
-                if n >= 2:
-                    return True
-    return False
-
-
-def _bounds_may_help(fn: Any) -> bool:
-    """Necessary condition for bounds-check elimination to fire: some
-    block holds at least two array accesses."""
-    for block in fn.block_order():
-        n = 0
-        for instr in block.instrs:
-            if instr.op in ("aload", "astore"):
-                n += 1
-                if n >= 2:
-                    return True
-    return False
+# Benefit estimates live in the analysis package (they key on the
+# passes' actual dedup keys, not coarse op counts); the old names stay
+# importable for the soundness tests and external callers.
+_cse_may_help = cse_may_help
+_bounds_may_help = bounds_may_help
 
 
 class OptCompiler:

@@ -22,6 +22,8 @@ name                      emitted when
 ``quicken``               the quickener rewrote the program's bytecode
 ``ic_miss``               a quickened call site's inline cache missed and
                           re-resolved (carries the receiver's TIB kind)
+``plan_downgraded``       the attach-time specialization-safety audit
+                          detached a class's plan (carries the findings)
 ========================= ==================================================
 
 Events live in a bounded ring buffer (:class:`EventBus`); when full, the
@@ -53,6 +55,7 @@ EVENT_NAMES = (
     "vm_run",
     "quicken",
     "ic_miss",
+    "plan_downgraded",
 )
 
 #: Event name -> Chrome-trace category, for trace-viewer filtering.
@@ -71,6 +74,7 @@ EVENT_CATEGORIES = {
     "vm_run": "vm",
     "quicken": "dispatch",
     "ic_miss": "dispatch",
+    "plan_downgraded": "analysis",
 }
 
 #: Default ring-buffer capacity.

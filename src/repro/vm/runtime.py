@@ -76,6 +76,10 @@ class VMStats:
     special_tibs_created: int = 0
     #: Re-evaluations skipped by swap coalescing (deferred state writes).
     swaps_coalesced: int = 0
+    #: Mutable-class plans detached by the specialization-safety audit
+    #: (repro.analysis.specsafety) because a state-field write could not
+    #: be proven hooked; their objects keep the class TIB.
+    plans_downgraded: int = 0
 
 
 class VM:

@@ -106,6 +106,77 @@ def test_cli_run_with_mutation(tmp_path, capsys):
     assert capsys.readouterr().out == plain
 
 
+def test_cli_lint_workload_clean(capsys):
+    assert cli_main(["lint", "salarydb", "--strict"]) == 0
+    assert capsys.readouterr().out == "salarydb: clean\n"
+
+
+def test_cli_lint_file_reports_findings(tmp_path, capsys):
+    """An unhookable program construct does not exist in source form, so
+    drive the finding path through a file and a monkeypatched check is
+    avoided: a plain clean file exits 0; --strict still exits 0."""
+    program = tmp_path / "clean.jx"
+    program.write_text(
+        """
+        class Counter {
+            private int mode;
+            Counter(int m) { mode = m; }
+            public int step(int x) {
+                if (mode == 0) { return x + 1; }
+                return x * 2;
+            }
+        }
+        class Main {
+            static void main() {
+                Counter c = new Counter(0);
+                int acc = 0;
+                for (int i = 0; i < 400; i++) { acc = c.step(acc) % 9999; }
+                Sys.print("" + acc);
+            }
+        }
+        """
+    )
+    assert cli_main(["lint", "--file", str(program), "--strict"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_lint_strict_fails_on_findings(monkeypatch, capsys):
+    from repro.analysis import Finding, lint as lint_mod
+
+    finding = Finding(
+        "hook-completeness", "X.m", 3, "X.f", "state write without hook"
+    )
+    monkeypatch.setattr(lint_mod, "lint_vm", lambda vm: [finding])
+    assert cli_main(["lint", "salarydb"]) == 0  # non-strict: report only
+    out = capsys.readouterr().out
+    assert "salarydb: 1 finding(s)" in out
+    assert "[hook-completeness] X.m @3: X.f" in out
+    assert cli_main(["lint", "salarydb", "--strict"]) == 1
+
+
+def test_cli_lint_unknown_workload(capsys):
+    assert cli_main(["lint", "nosuchworkload"]) == 1
+
+
+def test_cli_disasm_quick(tmp_path, capsys):
+    program = tmp_path / "loop.jx"
+    program.write_text(
+        """
+        class Main {
+            static void main() {
+                int acc = 0;
+                for (int i = 0; i < 500; i++) { acc = (acc + i) % 9999; }
+                Sys.print("" + acc);
+            }
+        }
+        """
+    )
+    assert cli_main(["disasm", "--quick", str(program)]) == 0
+    out = capsys.readouterr().out
+    assert "quickened" in out
+    assert "; covered by" in out
+
+
 def test_cli_plan(capsys):
     assert cli_main(["plan", "salarydb"]) == 0
     out = capsys.readouterr().out

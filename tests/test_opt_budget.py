@@ -1,10 +1,10 @@
 """OptConfig.budget_gate and the ``jx stats`` opt-pass budget report.
 
 The gate skips ``cse``/``boundselim`` on functions where a cheap
-structural estimate proves the pass cannot fire (no block holds two
-gate-relevant instructions).  Because the estimate is a sound
-over-approximation, gating must never change program output — it only
-moves pass runs into the ``opt.pass_gated.*`` counters.
+one-scan estimate (:mod:`repro.analysis.estimates`) proves the pass
+cannot fire.  Because the estimate is a sound over-approximation,
+gating must never change program output — it only moves pass runs into
+the ``opt.pass_gated.*`` counters.
 """
 
 from repro import VM, Telemetry, compile_source
@@ -59,9 +59,12 @@ def test_budget_gate_is_default_off_and_output_neutral():
 
 
 def test_benefit_estimates_are_sound_on_ir():
-    """A function the estimate rejects must be one the pass cannot
-    change: no block with two redundancy candidates (cse) or two array
-    accesses (boundselim)."""
+    """The gate's soundness contract, checked directly: whenever an
+    estimate says a pass cannot help, actually *running* the pass must
+    return 0 changes.  (The converse — accepts that turn out to be
+    no-ops — is allowed: the estimate is an over-approximation.)"""
+    from repro.opt.boundselim import eliminate_bounds_checks
+    from repro.opt.cse import local_cse
     from repro.opt.lowering import lower_method
 
     source = get_workload("salarydb").source(SCALE)
@@ -70,22 +73,19 @@ def test_benefit_estimates_are_sound_on_ir():
     for rm in vm.all_runtime_methods():
         method = rm.info
         fn = lower_method(method)
-        for estimate, ops in (
-            (_cse_may_help, ("getfield", "getstatic", "arraylen")),
-            (_bounds_may_help, ("aload", "astore")),
+        for estimate, pass_fn in (
+            (_cse_may_help, local_cse),
+            (_bounds_may_help, eliminate_bounds_checks),
         ):
             if estimate(fn):
                 saw_accept = True
             else:
                 saw_reject = True
-                for block in fn.block_order():
-                    hits = sum(
-                        1 for instr in block.instrs if instr.op in ops
-                    )
-                    assert hits < 2, (
-                        f"{method.name}: estimate rejected a block "
-                        f"with {hits} candidates"
-                    )
+                changed = pass_fn(fn)
+                assert not changed, (
+                    f"{method.name}: {estimate.__name__} rejected but "
+                    f"{pass_fn.__name__} made {changed} change(s)"
+                )
     assert saw_reject and saw_accept, "workload exercises both outcomes"
 
 

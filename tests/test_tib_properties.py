@@ -541,6 +541,70 @@ def test_ic_miss_follows_deopt_to_class_tib():
     assert counters["mutation.tib_swap"] == vm.mutation_stats.tib_swaps
 
 
+# ---------------------------------------------------------------------------
+# Lint soundness: a clean `jx lint` predicts the runtime invariants
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 13, 512])
+def test_lint_clean_programs_never_miss_a_swap(seed):
+    """The static/dynamic contract of ``jx lint``: when the linter
+    proves hook completeness (zero findings), no random write sequence
+    can ever observe an object whose TIB disagrees with its state."""
+    from repro.analysis import lint_vm
+
+    vm = _fresh_vm()
+    assert lint_vm(vm) == [], "lint must prove this program clean"
+    rc = vm.classes["SalaryEmployee"]
+    grade_slot = vm.unit.lookup_field("SalaryEmployee", "grade").slot
+    rng = random.Random(seed)
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/1"].compiled.invoke(vm, [obj, rng.randrange(6)])
+    for _ in range(150):
+        method, args = rng.choice([
+            ("promote", []),
+            ("demoteTo", [rng.randrange(10)]),
+            ("setOther", [rng.randrange(100)]),
+            ("raise", []),
+        ])
+        rc.own_methods[method].compiled.invoke(vm, [obj] + args)
+        _check_tib_matches_state(vm, rc, obj, grade_slot)
+
+
+def test_lint_finding_predicts_observable_stale_tib():
+    """The converse: strip one hook, lint reports exactly the missing
+    site — and the runtime really does strand the object on a stale
+    special TIB (the bug class the linter exists to catch)."""
+    from repro.bytecode.opcodes import Op
+    from repro.analysis import lint_vm
+
+    vm = _fresh_vm()
+    rc = vm.classes["SalaryEmployee"]
+    grade_slot = vm.unit.lookup_field("SalaryEmployee", "grade").slot
+    minfo = vm.unit.classes["SalaryEmployee"].methods["demoteTo"]
+    site = next(
+        i for i in minfo.code
+        if i.op is Op.PUTFIELD and i.state_hook is not None
+    )
+    site.state_hook = None
+
+    findings = lint_vm(vm)
+    assert [f.check for f in findings] == ["hook-completeness"]
+    assert findings[0].where == "SalaryEmployee.demoteTo"
+
+    obj = rc.allocate(vm)
+    rc.own_methods["<init>/1"].compiled.invoke(vm, [obj, 0])
+    assert obj.tib is rc.special_tibs[(0,)]
+    rc.own_methods["demoteTo"].compiled.invoke(vm, [obj, 1])
+    # The write happened, but the unhooked store skipped re-evaluation:
+    # the object still dispatches through grade 0's special TIB.
+    assert obj.fields[grade_slot] == 1
+    assert obj.tib is rc.special_tibs[(0,)], (
+        "expected the seeded bug to strand the object on a stale TIB"
+    )
+    with pytest.raises(AssertionError):
+        _check_tib_matches_state(vm, rc, obj, grade_slot)
+
+
 def test_unresolvable_field_write_warns_and_skips_hook():
     """A PUTFIELD naming a field the unit cannot resolve (stale plan or
     hand-edited bytecode) must not crash hook installation."""
