@@ -48,6 +48,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import threading
+
 from repro.bytecode.instructions import Instr
 from repro.bytecode.opcodes import Op
 from repro.vm.compiled import BaselineCompiled
@@ -111,6 +113,33 @@ def _fast_rm(vm: Any, cm: Any) -> Any:
     return None
 
 
+#: Serializes IC publication across concurrently-missing sessions
+#: (repro.server).  Hits stay lock-free: inside the lock, values are
+#: written *before* the key, and under the GIL attribute stores are
+#: sequenced, so a reader that matches a key can never see a value
+#: belonging to a different key.  Misses are rare after warmup, so one
+#: process-wide lock costs nothing measurable.
+_PUBLISH_LOCK = threading.Lock()
+
+
+def _publish_ic(vm: Any, ic: Any, tib: Any, cm: Any) -> None:
+    """Record ``tib -> cm`` in a (possibly shared) cell: mono, then
+    2-entry poly, then megamorphic de-quicken on the third distinct
+    key.  A concurrent flush can interleave harmlessly — it only
+    clears keys, forcing a later re-miss."""
+    with _PUBLISH_LOCK:
+        if ic.k0 is None or ic.k0 is tib:
+            ic.i0 = cm.invoke
+            ic.r0 = _fast_rm(vm, cm)
+            ic.k0 = tib
+        elif ic.k1 is None or ic.k1 is tib:
+            ic.i1 = cm.invoke
+            ic.r1 = _fast_rm(vm, cm)
+            ic.k1 = tib
+        else:
+            _go_megamorphic(vm, ic)
+
+
 class VirtualIC:
     """Inline cache for one INVOKEVIRTUAL site.
 
@@ -142,8 +171,15 @@ class VirtualIC:
         self.r1: Any = None
 
     def flush(self) -> None:
-        self.k0 = self.i0 = self.r0 = None
-        self.k1 = self.i1 = self.r1 = None
+        # Keys only: a concurrent session that already matched a key
+        # may still read the value slots, so they must stay callable.
+        # Every in-place patch replaces a target with a semantically
+        # equivalent one, so the one stale call a racing hit can make
+        # is still correct code; the cleared key forces the *next*
+        # execution to miss and re-resolve.  (Values are overwritten on
+        # that miss.)
+        self.k0 = None
+        self.k1 = None
 
     def lookup(self, receiver: Any) -> Any:
         tib = receiver.tib
@@ -154,16 +190,7 @@ class VirtualIC:
         tib = receiver.tib
         cm = tib.entries[self.offset]
         _note_miss(vm, self, tib)
-        if self.k0 is None:
-            self.k0 = tib
-            self.i0 = cm.invoke
-            self.r0 = _fast_rm(vm, cm)
-        elif self.k1 is None:
-            self.k1 = tib
-            self.i1 = cm.invoke
-            self.r1 = _fast_rm(vm, cm)
-        else:
-            _go_megamorphic(vm, self)
+        _publish_ic(vm, self, tib, cm)
         return cm.invoke(vm, callargs)
 
 
@@ -196,23 +223,21 @@ class InterfaceIC:
         self.r1: Any = None
 
     def flush(self) -> None:
-        self.k0 = self.i0 = self.r0 = None
-        self.k1 = self.i1 = self.r1 = None
+        # Keys only: a concurrent session that already matched a key
+        # may still read the value slots, so they must stay callable.
+        # Every in-place patch replaces a target with a semantically
+        # equivalent one, so the one stale call a racing hit can make
+        # is still correct code; the cleared key forces the *next*
+        # execution to miss and re-resolve.  (Values are overwritten on
+        # that miss.)
+        self.k0 = None
+        self.k1 = None
 
     def miss(self, vm: Any, receiver: Any, callargs: list) -> Any:
         tib = receiver.tib
         cm = tib.imt.dispatch(receiver, self.slot, self.key)
         _note_miss(vm, self, tib)
-        if self.k0 is None:
-            self.k0 = tib
-            self.i0 = cm.invoke
-            self.r0 = _fast_rm(vm, cm)
-        elif self.k1 is None:
-            self.k1 = tib
-            self.i1 = cm.invoke
-            self.r1 = _fast_rm(vm, cm)
-        else:
-            _go_megamorphic(vm, self)
+        _publish_ic(vm, self, tib, cm)
         return cm.invoke(vm, callargs)
 
 

@@ -86,8 +86,11 @@ def resolve_pin(vm: Any, desc: list | tuple) -> Any:
     ``["static_hook", key]``  the PUTSTATIC hook for one state field
     ``["ctor_hook", cls]``    a mutable class's constructor-exit hook
     ``["manager"]``           the mutation manager itself
-    ``["mutation_stats"]``    the VM's mutation-stats record (inline
-                              swap / coalesce counting)
+    ``["mutation_stats"]``    the VM's mutation-stats record (legacy:
+                              inline swap counting now reads
+                              ``vm.mutation_stats`` at runtime so the
+                              invoking session is charged; kept for
+                              resolution robustness)
     ``["tib_table1", cls]``   value -> special-TIB map (single-field
                               inline-swap fast path)
     ========================= =========================================

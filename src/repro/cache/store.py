@@ -19,6 +19,16 @@ tests assert a recompile, never a mis-link).
 
 Writes are atomic (temp file + ``os.replace``) so concurrent VMs
 sharing a cache directory can only ever observe complete entries.
+
+Concurrency: one :class:`CompileCache` instance may be shared by many
+threads (the ``repro.server`` sessions all hold the code space's
+store).  Atomic writes already make *torn* entries impossible; the
+per-key locks (:meth:`CompileCache.key_lock`) additionally make the
+load→compile→store sequence exclusive per key, so two concurrent
+compilers of the same key serialize and the second becomes a hit
+instead of a duplicate compile.  Time spent waiting is accounted in
+``lock_wait_seconds`` (surfaced as ``cache.lock_wait_seconds``
+telemetry by the opt pipeline).
 """
 
 from __future__ import annotations
@@ -28,6 +38,9 @@ import os
 import shutil
 import sys
 import tempfile
+import threading
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
@@ -45,7 +58,11 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: v4: analysis-audit environment — ``environment_payload`` gained the
 #: ``analysis`` entry (audit flag + downgraded classes), changing every
 #: compile key's shape.
-SCHEMA_VERSION = 4
+#: v5: per-session swap accounting — opt2 inline swap/coalesce counting
+#: reads ``vm.mutation_stats`` at runtime instead of pinning the
+#: compiling VM's stats record, so shared-code-space sessions charge
+#: themselves; v4 artifacts carry the old pinned form.
+SCHEMA_VERSION = 5
 
 
 def cache_stamp() -> str:
@@ -70,6 +87,42 @@ class CompileCache:
         self.stores = 0
         self.link_errors = 0
         self.uncacheable = 0
+        #: Aggregate seconds threads spent waiting on per-key locks.
+        self.lock_wait_seconds = 0.0
+        self.lock_waits = 0
+        # Per-key lock registry: the registry lock only guards the dict;
+        # key locks are held across a whole load→compile→store sequence.
+        self._registry_lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    # -- concurrency --------------------------------------------------------
+
+    @contextmanager
+    def key_lock(self, key: str):
+        """Exclusive section for one cache key.
+
+        Yields the seconds this thread waited to acquire the lock (0.0
+        on the uncontended path).  Callers wrap load→compile→store so
+        concurrent sessions never recompile the same key twice and
+        never observe a torn entry; waits accumulate into
+        ``lock_wait_seconds``.
+        """
+        with self._registry_lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+        waited = 0.0
+        if not lock.acquire(blocking=False):
+            start = time.perf_counter()
+            lock.acquire()
+            waited = time.perf_counter() - start
+            with self._registry_lock:
+                self.lock_wait_seconds += waited
+                self.lock_waits += 1
+        try:
+            yield waited
+        finally:
+            lock.release()
 
     # -- keys ---------------------------------------------------------------
 
@@ -194,6 +247,8 @@ class CompileCache:
                 "link_errors": self.link_errors,
                 "uncacheable": self.uncacheable,
                 "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "lock_waits": self.lock_waits,
+                "lock_wait_seconds": self.lock_wait_seconds,
             },
         }
 

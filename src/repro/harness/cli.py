@@ -12,6 +12,9 @@ Subcommands:
   JSON for chrome://tracing / Perfetto (``-o trace.json``);
 * ``stats WORKLOAD``      — run under telemetry, print the counters /
   histograms / event-taxonomy report;
+* ``serve WORKLOAD``      — run N concurrent sessions over one shared
+  code space (``--sessions N --workers K``); exits nonzero if any two
+  same-seed sessions diverge (cross-tenant leakage);
 * ``table1``              — regenerate Table 1;
 * ``fig N``               — regenerate Figure N (9..15).
 """
@@ -278,6 +281,37 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve_workload
+
+    report = serve_workload(
+        args.workload,
+        sessions=args.sessions,
+        workers=args.workers,
+        seed=args.seed,
+        scale=args.scale,
+        mutate=not args.no_mutate,
+        cache=_cache_dir(args),
+    )
+    print(report.describe())
+    for result in report.results:
+        print(f"  session {result.session_id}: "
+              f"{result.wall_seconds:.3f}s "
+              f"{result.tib_swaps} swaps "
+              f"digest {result.digest[:16]}"
+              + (f"  ERROR {result.error}" if result.error else ""))
+    if report.errors:
+        print("jx serve: session errors", file=sys.stderr)
+        return 1
+    if not report.digests_identical:
+        # Same-seed sessions diverging means tenant state leaked across
+        # the shared code space — never acceptable.
+        print("jx serve: DIGEST MISMATCH across sessions",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.harness.tables import format_table1, table1
 
@@ -409,6 +443,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("cache_command", choices=("stats", "clear"))
     p.add_argument("--cache-dir", default=None, help=cache_help)
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve N concurrent sessions over one shared code space",
+    )
+    p.add_argument("workload")
+    p.add_argument("--sessions", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: bench scale)")
+    p.add_argument("--no-mutate", action="store_true",
+                   help="serve without a mutation plan")
+    p.add_argument("--cache-dir", default=None, help=cache_help)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.set_defaults(fn=_cmd_table1)

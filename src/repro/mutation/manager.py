@@ -47,6 +47,14 @@ Two refinements over the literal Fig. 4:
   the same field directly).  ``manager.tib_swaps`` is a read-only alias
   and the ``mutation.tib_swap`` telemetry counter mirrors it in
   instrumented runs, so all three reporters agree.
+
+**Per-session accounting** (``repro.server``): every hook and
+re-evaluation closure charges the ``vm`` *it was invoked with*, never a
+captured VM.  One manager may serve many sessions sharing a code space
+(:class:`repro.server.CodeSpace`); each session owns its own
+``mutation_stats``, so two sessions' swap counts can never bleed into
+each other.  For a solo :class:`~repro.vm.runtime.VM` the invoking vm
+is the owning vm and nothing changes.
 """
 
 from __future__ import annotations
@@ -248,22 +256,19 @@ class MutationManager:
         return self._deferred_hook
 
     def _make_deferred_hook(self):
-        stats = self.vm.mutation_stats
         tel = self.vm.telemetry
 
         if tel is None:
 
             def deferred(vm: Any, obj: Any) -> None:
-                stats.swaps_coalesced += 1
+                vm.mutation_stats.swaps_coalesced += 1
 
             # opt2 inlines the count so the deferred write costs no call.
-            deferred.inline_spec = (  # type: ignore[attr-defined]
-                "deferred", stats
-            )
+            deferred.inline_spec = ("deferred",)  # type: ignore[attr-defined]
             return deferred
 
         def deferred_tel(vm: Any, obj: Any) -> None:
-            stats.swaps_coalesced += 1
+            vm.mutation_stats.swaps_coalesced += 1
             if tel.enabled:
                 tel.count("mutation.swaps_coalesced")
                 tel.emit(
@@ -400,7 +405,7 @@ class MutationManager:
                 def ctor_hook(vm: Any, obj: Any, _rc=rc,
                               _reeval=reeval) -> None:
                     if obj.tib.type_info is _rc:
-                        _reeval(obj)
+                        _reeval(vm, obj)
 
             else:
 
@@ -413,7 +418,7 @@ class MutationManager:
                                 "hook_fired", kind="ctor_exit",
                                 cls=_rc.name,
                             )
-                        _reeval(obj)
+                        _reeval(vm, obj)
 
             spec = getattr(reeval, "inline_spec", None)
             if spec is not None:
@@ -465,7 +470,7 @@ class MutationManager:
                     return
                 reeval = reeval_by_class.get(obj.tib.type_info.name)
                 if reeval is not None:
-                    reeval(obj)
+                    reeval(vm, obj)
 
             # Exposed (same dict the closure reads) so a plan downgrade
             # can detach one class without rebuilding the hook.
@@ -481,19 +486,20 @@ class MutationManager:
                 tel.emit("hook_fired", kind="putfield", cls=cls_name)
             reeval = reeval_by_class.get(cls_name)
             if reeval is not None:
-                reeval(obj)
+                reeval(vm, obj)
 
         hook_tel.reeval_by_class = reeval_by_class  # type: ignore[attr-defined]
         return hook_tel
 
     def _make_reeval(self, mcr: MutableClassRuntime):
-        """Class-specialized TIB re-evaluation closure.
+        """Class-specialized TIB re-evaluation closure ``f(vm, obj)``.
 
         Single-state-field classes (the common case) dispatch on the raw
         field value — no tuple allocation on the per-object-birth path.
+        The closure charges the ``vm`` it is invoked with, so sessions
+        sharing this manager's code space each keep their own counts.
         """
         record = self.record_swap
-        stats = self.vm.mutation_stats
         class_tib = mcr.rc.class_tib
         tel = self.vm.telemetry
         cls_name = mcr.class_name
@@ -505,26 +511,26 @@ class MutationManager:
 
             if tel is None:
 
-                def reeval1(obj: Any) -> None:
+                def reeval1(vm: Any, obj: Any) -> None:
                     tib = table1.get(obj.fields[slot], class_tib)
                     if obj.tib is not tib:
                         obj.tib = tib
-                        stats.tib_swaps += 1
+                        vm.mutation_stats.tib_swaps += 1
 
                 reeval1.inline_spec = (  # type: ignore[attr-defined]
-                    "single", mcr.rc, slot, table1, class_tib, stats
+                    "single", mcr.rc, slot, table1, class_tib
                 )
                 return reeval1
 
             # Instrumented variant: timed, event-emitting, and — on
             # purpose — without inline_spec, so opt2 code keeps calling
             # the closure and swaps stay observable.
-            def reeval1_tel(obj: Any) -> None:
+            def reeval1_tel(vm: Any, obj: Any) -> None:
                 start = time.perf_counter()
                 tib = table1.get(obj.fields[slot], class_tib)
                 if obj.tib is not tib:
                     obj.tib = tib
-                    record(tib is not class_tib, cls_name, start)
+                    record(tib is not class_tib, cls_name, start, vm)
 
             return reeval1_tel
         slots = tuple(mcr.instance_slots)
@@ -532,18 +538,18 @@ class MutationManager:
 
         if tel is None:
 
-            def reeval(obj: Any) -> None:
+            def reeval(vm: Any, obj: Any) -> None:
                 fields = obj.fields
                 tib = table.get(
                     tuple(fields[s] for s in slots), class_tib
                 )
                 if obj.tib is not tib:
                     obj.tib = tib
-                    stats.tib_swaps += 1
+                    vm.mutation_stats.tib_swaps += 1
 
             return reeval
 
-        def reeval_tel(obj: Any) -> None:
+        def reeval_tel(vm: Any, obj: Any) -> None:
             start = time.perf_counter()
             fields = obj.fields
             tib = table.get(
@@ -551,16 +557,19 @@ class MutationManager:
             )
             if obj.tib is not tib:
                 obj.tib = tib
-                record(tib is not class_tib, cls_name, start)
+                record(tib is not class_tib, cls_name, start, vm)
 
         return reeval_tel
 
     def record_swap(self, to_special: bool, cls_name: str,
-                    start: float | None = None) -> None:
+                    start: float | None = None,
+                    vm: Any = None) -> None:
         """The single accounting point for a TIB-pointer swap.
 
-        Bumps ``vm.mutation_stats.tib_swaps`` (``manager.tib_swaps`` is
-        a read-only alias) and, in instrumented runs, the
+        Bumps ``vm.mutation_stats.tib_swaps`` of the *invoking* vm —
+        the session that performed the swap, defaulting to the owning
+        vm for solo runs (``manager.tib_swaps`` aliases the owning
+        vm's count) — and, in instrumented runs, the
         ``mutation.tib_swap`` counter for *every* swap plus
         ``mutation.deopt_to_class_tib`` for the swap-back subset, with
         the matching directional event.  The uninstrumented closures and
@@ -568,8 +577,10 @@ class MutationManager:
         they exist only when telemetry is off, so the counter and the
         telemetry mirror cannot diverge.
         """
-        self.vm.mutation_stats.tib_swaps += 1
-        tel = _tel_maybe(self.vm.telemetry)
+        if vm is None:
+            vm = self.vm
+        vm.mutation_stats.tib_swaps += 1
+        tel = _tel_maybe(vm.telemetry)
         if tel is not None:
             name = "tib_swap" if to_special else "deopt_to_class_tib"
             tel.emit(name, cls=cls_name)
@@ -577,7 +588,7 @@ class MutationManager:
             elapsed = time.perf_counter() - tel.bus.epoch
             if elapsed > 0:
                 tel.metrics.gauge("mutation.swap_rate").set(
-                    self.vm.mutation_stats.tib_swaps / elapsed
+                    vm.mutation_stats.tib_swaps / elapsed
                 )
             if not to_special:
                 tel.count("mutation.deopt_to_class_tib")
@@ -597,14 +608,15 @@ class MutationManager:
                     classes=[m.class_name for m in mcrs],
                 )
             for mcr in mcrs:
-                self.apply_static_state(mcr)
+                self.apply_static_state(mcr, vm)
 
         # Exposed (same list the closure iterates) so a plan downgrade
         # can detach one class without rebuilding the hook.
         hook.mcrs = mcrs  # type: ignore[attr-defined]
         return hook
 
-    def reevaluate_object(self, mcr: MutableClassRuntime, obj: Any) -> None:
+    def reevaluate_object(self, mcr: MutableClassRuntime, obj: Any,
+                          vm: Any = None) -> None:
         """Swap the object's TIB pointer per its instance state values."""
         start = time.perf_counter()
         values = mcr.read_instance_values(obj)
@@ -613,13 +625,22 @@ class MutationManager:
         if obj.tib is not new_tib:
             obj.tib = new_tib
             self.record_swap(
-                new_tib is not mcr.rc.class_tib, mcr.class_name, start
+                new_tib is not mcr.rc.class_tib, mcr.class_name, start, vm
             )
 
-    def apply_static_state(self, mcr: MutableClassRuntime) -> None:
+    def apply_static_state(self, mcr: MutableClassRuntime,
+                           vm: Any = None) -> None:
         """Fig. 4, third clause (also reused by Fig. 5): repoint compiled
-        code according to the current static state-field values."""
-        vm = self.vm
+        code according to the current static state-field values.
+
+        Static-state mutation patches *shared* dispatch structures
+        (special-TIB entries, class TIBs, JTOC cells), which is exactly
+        why classes depending on static state fields are excluded from
+        multi-session code spaces (:mod:`repro.server.shareable`); the
+        ``vm`` parameter only selects whose JTOC supplies the values.
+        """
+        if vm is None:
+            vm = self.vm
         static_values = mcr.read_static_values(vm)
         mcr.current_static_values = static_values
         tel = _tel_maybe(vm.telemetry)

@@ -189,6 +189,31 @@ class OptCompiler:
         if cache is not None:
             key = cache.key_for(self.vm, rm, opt_level, bindings,
                                 self.config)
+            # The whole load→compile→store sequence runs under the
+            # key's lock: a concurrent compiler of the same key waits
+            # here and then hits what the first one stored, instead of
+            # recompiling (and the load can never race a store).
+            with cache.key_lock(key) as waited:
+                if waited:
+                    tel = _tel_maybe(self.vm.telemetry)
+                    if tel is not None:
+                        tel.observe("cache.lock_wait_seconds", waited)
+                return self._compile_exclusive(
+                    cache, key, rm, opt_level, bindings
+                )
+        return self._compile_exclusive(cache, key, rm, opt_level, bindings)
+
+    def _compile_exclusive(
+        self,
+        cache: Any,
+        key: str | None,
+        rm: Any,
+        opt_level: int,
+        bindings: SpecBindings | None,
+    ) -> OptCompiled:
+        """The compile body; the caller holds ``key``'s lock when a
+        cache is attached."""
+        if cache is not None:
             cm = self._link_cached(cache, key, rm, opt_level, bindings)
             if cm is not None:
                 return cm

@@ -239,8 +239,9 @@ class PyCodegen:
                 if spec is not None and spec[0] == "deferred":
                     # Coalesced state write: no re-evaluation here, just
                     # the skipped-swap count (no call on the fast path).
-                    st = self._pin("st", spec[1], ["mutation_stats"])
-                    E(indent, f"{st}.swaps_coalesced += 1")
+                    # Charged to the *invoking* vm so sessions sharing
+                    # this code each keep their own count.
+                    E(indent, "vm.mutation_stats.swaps_coalesced += 1")
                 else:
                     hook = self._pin("hook", instr.extra.hook,
                                      hook_ref(instr.extra.hook))
@@ -335,21 +336,21 @@ class PyCodegen:
             if spec is not None and spec[0] == "single":
                 # Inline the single-state-field TIB re-evaluation: the
                 # common per-allocation path gets no function call at
-                # all.  The swap count goes to vm.mutation_stats — the
-                # same field every other swap path updates.
-                _, rc, slot, table, class_tib, stats = spec
+                # all.  The swap count goes to the *invoking* vm's
+                # mutation_stats — the same field every other swap path
+                # updates, and per-session in shared code spaces.
+                _, rc, slot, table, class_tib = spec
                 obj = args[0]
                 rc_p = self._pin("rc", rc, ["class", rc.name])
                 tbl_p = self._pin("tbl", table, ["tib_table1", rc.name])
                 ctib_p = self._pin("ctib", class_tib,
                                    ["class_tib", rc.name])
-                st_p = self._pin("st", stats, ["mutation_stats"])
                 E(indent, f"if {obj}.tib.type_info is {rc_p}:")
                 E(indent + 1,
                   f"_nt = {tbl_p}.get({obj}.fields[{slot}], {ctib_p})")
                 E(indent + 1, f"if {obj}.tib is not _nt:")
                 E(indent + 2, f"{obj}.tib = _nt")
-                E(indent + 2, f"{st_p}.tib_swaps += 1")
+                E(indent + 2, "vm.mutation_stats.tib_swaps += 1")
             else:
                 hook = self._pin("hook", instr.extra.hook,
                                  hook_ref(instr.extra.hook))

@@ -1,0 +1,32 @@
+"""Multi-session VM serving over a shared code space.
+
+The CGO'06 mutation machinery (TIB swaps, specialized code, quickened
+dispatch) lives in per-program structures that are expensive to build
+and — once frozen — never written.  This package splits the VM along
+exactly that line: a :class:`CodeSpace` owns the immutable program
+world (built once, warmed to final tiers, frozen), and each
+:class:`Session` owns one tenant's mutable layer (heap, static-field
+values, object TIB pointers, stats, output).  :func:`serve` drives N
+concurrent sessions from a thread pool and proves isolation by digest.
+"""
+
+from repro.server.codespace import CodeSpace
+from repro.server.driver import serve, serve_workload
+from repro.server.results import ServeReport, SessionResult, output_digest
+from repro.server.session import Session
+from repro.server.shareable import (
+    ShareabilityFinding,
+    filter_shareable_plan,
+)
+
+__all__ = [
+    "CodeSpace",
+    "ServeReport",
+    "Session",
+    "SessionResult",
+    "ShareabilityFinding",
+    "filter_shareable_plan",
+    "output_digest",
+    "serve",
+    "serve_workload",
+]

@@ -1,0 +1,81 @@
+"""The shareability gate: which mutation plans may enter a shared
+code space.
+
+Instance-field state is per-object: a TIB-pointer swap touches only the
+object's own header word, so any number of sessions can mutate their own
+objects against shared TIBs and shared specialized code.  *Static*-field
+state is different in kind — re-evaluating a static state change patches
+the **shared dispatch structures themselves** (class TIB entries and
+JTOC method cells, :meth:`MutationManager.apply_static_state`), which
+would publish one tenant's state to every other tenant.
+
+A multi-tenant code space therefore admits only mutable-class plans with
+no static state fields.  Excluded classes simply run unmutated (their
+objects keep the class TIB) — the same safe fallback the
+specialization-safety audit uses for downgrades; correctness never
+depends on mutation being on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mutation.plan import MutationPlan
+from repro.telemetry.core import maybe as _tel_maybe
+
+
+@dataclass
+class ShareabilityFinding:
+    """One mutable-class plan rejected from a shared code space."""
+
+    class_name: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}: {self.reason}"
+
+
+def filter_shareable_plan(
+    plan: MutationPlan | None, telemetry: Any = None
+) -> tuple[MutationPlan | None, list[ShareabilityFinding]]:
+    """Split ``plan`` into its session-shareable part.
+
+    Returns ``(shared_plan, findings)``: a plan containing only the
+    mutable classes safe to attach to a multi-session code space, plus
+    one finding per excluded class.  ``None`` passes through (no plan,
+    nothing to gate); a plan whose every class is excluded comes back as
+    ``None`` so the code space skips manager attachment entirely.
+    """
+    if plan is None:
+        return None, []
+    findings: list[ShareabilityFinding] = []
+    kept: dict[str, Any] = {}
+    for name, class_plan in plan.classes.items():
+        if class_plan.static_fields:
+            keys = [spec.key for spec in class_plan.static_fields]
+            findings.append(ShareabilityFinding(
+                class_name=name,
+                reason=(
+                    "static state field(s) "
+                    + ", ".join(sorted(keys))
+                    + " — re-evaluation patches shared dispatch"
+                    " structures (TIB entries / JTOC cells)"
+                ),
+            ))
+        else:
+            kept[name] = class_plan
+    tel = _tel_maybe(telemetry)
+    if tel is not None and findings:
+        tel.count("server.plans_excluded", len(findings))
+    if not findings:
+        return plan, []
+    if not kept:
+        return None, findings
+    shared = MutationPlan(
+        classes=kept,
+        lifetime_constants=dict(plan.lifetime_constants),
+        config=plan.config,
+        hot_methods=list(plan.hot_methods),
+    )
+    return shared, findings

@@ -75,3 +75,51 @@ class JTOC:
     @property
     def num_field_slots(self) -> int:
         return len(self.fields)
+
+
+class JTOCView:
+    """A per-session view of a base JTOC (``repro.server``).
+
+    Static *method cells* are immutable program structure once the code
+    space is frozen, so they are shared with the base table; static
+    *field storage* is per-session mutable state, so each view owns a
+    private ``fields`` list initialized from the pristine (pre-clinit)
+    values — a session then runs its own ``<clinit>`` against it.
+
+    The attribute surface matches :class:`JTOC` exactly (``fields``,
+    ``get``/``set``, ``field_slot``, ``method_cell``…), so the
+    interpreter and generated opt2 code (``_sf = vm.jtoc.fields``) are
+    oblivious to which one they run against.
+    """
+
+    __slots__ = ("base", "fields")
+
+    def __init__(self, base: JTOC, pristine_fields: list[Any]) -> None:
+        self.base = base
+        self.fields: list[Any] = list(pristine_fields)
+
+    # -- static fields (private storage) ------------------------------------
+
+    def field_slot(self, class_name: str, field_name: str) -> int:
+        return self.base.field_slot(class_name, field_name)
+
+    def get(self, slot: int) -> Any:
+        return self.fields[slot]
+
+    def set(self, slot: int, value: Any) -> None:
+        self.fields[slot] = value
+
+    # -- static methods (shared cells) --------------------------------------
+
+    def method_cell(self, class_name: str, key: str) -> JTOCMethodCell:
+        return self.base.method_cell(class_name, key)
+
+    def method_cells(self) -> list[JTOCMethodCell]:
+        return self.base.method_cells()
+
+    @property
+    def num_field_slots(self) -> int:
+        return len(self.fields)
+
+    def __repr__(self) -> str:
+        return f"<JTOCView of {self.base!r}>"

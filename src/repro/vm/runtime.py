@@ -14,6 +14,24 @@ class mutation manager.  It is the single entry point users need::
 
 A ProgramUnit carries link state in its instructions, so each VM needs a
 freshly compiled unit.
+
+A VM's state is explicitly split into two layers (the foundation of the
+``repro.server`` multi-session code space):
+
+* the **program world** (:meth:`VM._build_program_world`) — linked
+  classes, JTOC layout + method cells, TIBs, compiled code, quickened
+  bodies, the mutation manager and its hooks, the opt compiler, the
+  compile cache.  Once built (and, for serving, frozen by
+  :class:`repro.server.CodeSpace`), it is immutable program structure
+  that any number of sessions can share;
+* **session state** (:meth:`VM._init_session_state`) — heap accounting,
+  the intrinsic context (output buffer + RNG), static-field *values*,
+  mutation stats, telemetry sink, and the ``<clinit>``-ran flag.  This
+  is everything one executing tenant mutates; a
+  :class:`repro.server.Session` owns exactly this set privately while
+  borrowing the world.
+
+A solo VM is simply both layers in one object, built back-to-back.
 """
 
 from __future__ import annotations
@@ -97,6 +115,43 @@ class VM:
     ) -> None:
         if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        # Telemetry attaches before any subsystem so the mutation
+        # manager's hooks can bake instrumentation in at build time;
+        # ``True`` means "give me a default-configured Telemetry".
+        if telemetry is True:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self._init_session_state(seed)
+        self._build_program_world(
+            program, mutation_plan, adaptive_config, compile_cache, config
+        )
+
+    # -- the two state layers ------------------------------------------------
+
+    def _init_session_state(self, seed: int) -> None:
+        """Everything one executing tenant mutates.  A
+        :class:`repro.server.Session` owns exactly these attributes
+        privately (plus a :class:`~repro.vm.jtoc.JTOCView` for the
+        static-field values) while borrowing the program world."""
+        self.heap = HeapStats()
+        self.intrinsic_ctx = IntrinsicContext(seed)
+        self.mutation_stats = VMStats()
+        self.compile_stats = CompileStats()
+        self._initialized = False
+
+    def _build_program_world(
+        self,
+        program: ProgramUnit,
+        mutation_plan: Any,
+        adaptive_config: AdaptiveConfig | None,
+        compile_cache: Any,
+        config: VMConfig | None,
+    ) -> None:
+        """Link, attach mutation, prime the adaptive system, quicken —
+        the immutable-once-frozen program structure that sessions of a
+        :class:`repro.server.CodeSpace` share."""
         self.unit = program
         # Persistent compile cache (repro.cache): a CompileCache, a
         # directory path, or None.  JX_CACHE_DIR enables it globally
@@ -108,29 +163,22 @@ class VM:
 
             compile_cache = CompileCache(compile_cache)
         self.compile_cache = compile_cache
-        # Telemetry attaches before any subsystem so the mutation
-        # manager's hooks can bake instrumentation in at build time;
-        # ``True`` means "give me a default-configured Telemetry".
-        if telemetry is True:
-            from repro.telemetry import Telemetry
-
-            telemetry = Telemetry()
-        self.telemetry = telemetry
-        self.heap = HeapStats()
-        self.intrinsic_ctx = IntrinsicContext(seed)
         self.linker = Linker(program)
         self.linker.link()
         self.classes = self.linker.classes
         self.jtoc = self.linker.jtoc
         self.tib_space = self.linker.tib_space
+        #: Static-field values as linked, before any ``<clinit>`` ran —
+        #: what a fresh session's :class:`~repro.vm.jtoc.JTOCView`
+        #: starts from.  ``<clinit>`` effects are per-session (they may
+        #: allocate objects), so the snapshot must predate them.
+        self.pristine_statics = list(self.jtoc.fields)
         self.installer = CodeInstaller(self)
-        self.compile_stats = CompileStats()
         self.adaptive = AdaptiveSystem(
             self, adaptive_config or AdaptiveConfig()
         )
         self._opt_compiler: Any = None
         self.mutation_manager: Any = None
-        self.mutation_stats = VMStats()
         self.config = config or VMConfig()
         self.quickener: Any = None
         if mutation_plan is not None:
@@ -148,7 +196,6 @@ class VM:
 
             self.quickener = Quickener(self)
             self.quickener.quicken_all()
-        self._initialized = False
 
     # ------------------------------------------------------------------
 

@@ -281,7 +281,10 @@ def test_flush_resets_cache_keys():
     assert ic.k0 is not None
     flushes = vm.quickener.flushes
     vm.flush_inline_caches()
-    assert ic.k0 is None and ic.i0 is None and ic.r0 is None
+    # Flush clears *keys only*: a concurrent session racing the flush
+    # may still be running a just-read value, and in-place patches only
+    # ever replace targets with equivalent ones (repro.server).
+    assert ic.k0 is None and ic.k1 is None
     assert vm.quickener.flushes == flushes + 1
     # The next call misses, re-resolves, and works.
     assert vm.call_static("Driver", "poke", [sq]) == 9
