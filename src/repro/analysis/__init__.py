@@ -12,6 +12,8 @@ A whole-program analysis layer over the bytecode IR:
   proofs (also the fact source for swap coalescing and the attach-time
   plan audit);
 * :mod:`.estimates` — the optimizer's budget-gate benefit estimates;
+* :mod:`.liveness` — per-instruction live-local sets (the OSR
+  frame-mapping compensation sets);
 * :mod:`.lint` — the ``jx lint`` aggregation over a built VM.
 """
 
@@ -20,6 +22,7 @@ from repro.analysis.dataflow import solve_backward, solve_forward
 from repro.analysis.escape import RefFieldFacts, analyze_ref_fields
 from repro.analysis.estimates import bounds_may_help, cse_may_help
 from repro.analysis.findings import Finding
+from repro.analysis.liveness import live_locals, local_effects
 from repro.analysis.lint import (
     ctor_hook_findings,
     lint_source,
@@ -47,6 +50,8 @@ __all__ = [
     "bounds_may_help",
     "cse_may_help",
     "Finding",
+    "live_locals",
+    "local_effects",
     "ctor_hook_findings",
     "lint_source",
     "lint_vm",

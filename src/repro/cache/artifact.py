@@ -93,6 +93,10 @@ def resolve_pin(vm: Any, desc: list | tuple) -> Any:
                               resolution robustness)
     ``["tib_table1", cls]``   value -> special-TIB map (single-field
                               inline-swap fast path)
+    ``["special_tib",         one hot state's special TIB, keyed by
+    cls, [values]]``          its encoded instance values (OSR deopt
+                              guards compare against it)
+    ``["osr_deopt"]``         :func:`repro.vm.osr.deopt_to_interpreter`
     ========================= =========================================
     """
     kind = desc[0]
@@ -133,6 +137,14 @@ def resolve_pin(vm: Any, desc: list | tuple) -> Any:
             return {
                 key[0]: tib for key, tib in mcr.tib_by_instance.items()
             }
+        if kind == "special_tib":
+            mcr = _manager(vm).mcrs[desc[1]]
+            values = tuple(decode_value(v) for v in desc[2])
+            return mcr.tib_by_instance[values]
+        if kind == "osr_deopt":
+            from repro.vm.osr import deopt_to_interpreter
+
+            return deopt_to_interpreter
     except (KeyError, AttributeError) as exc:
         raise UnlinkableArtifact(f"cannot resolve pin {desc!r}") from exc
     raise UnlinkableArtifact(f"unknown pin kind {desc!r}")

@@ -27,7 +27,7 @@ from repro.opt.ir import Block, Const, Extra, IRFunction, IRInstr, Reg
 #: Extra fields that serialize as plain JSON values.
 _PLAIN_FIELDS = (
     "slot", "key", "offset", "elem", "bounds", "returns",
-    "target", "if_true", "if_false", "name",
+    "target", "if_true", "if_false", "name", "pc", "live",
 )
 
 
@@ -53,6 +53,11 @@ def _encode_extra(ex: Extra) -> dict:
         out["intrinsic"] = ["intrinsic", ex.intrinsic.name]
     if ex.fill is not None:
         out["fill"] = encode_value(ex.fill)
+    if ex.tib is not None:
+        # Specialized (deopt-guarded) code is opt2-only, so IR artifacts
+        # should never carry a TIB reference; refuse rather than risk
+        # re-linking a guard against the wrong runtime object.
+        raise UnlinkableArtifact("IR artifact with a TIB-bearing Extra")
     return out
 
 

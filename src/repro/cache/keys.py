@@ -114,7 +114,9 @@ def environment_payload(vm: Any) -> dict:
     inline fast paths), the swap-coalescing toggle (moves hooks between
     PUTFIELD sites, changing which stores carry hook calls), and the
     attach-time analysis audit (a downgraded class loses its hooks and
-    specializations, so the set of downgrades shapes compiled code)."""
+    specializations, so the set of downgrades shapes compiled code),
+    and the OSR toggle (it decides whether specialized code carries
+    mid-frame deopt guards)."""
     manager = getattr(vm, "mutation_manager", None)
     plan_dict = None
     coalesce = None
@@ -134,6 +136,7 @@ def environment_payload(vm: Any) -> dict:
         "telemetry": vm.telemetry is not None,
         "coalesce": coalesce,
         "analysis": analysis,
+        "osr": bool(getattr(vm.config, "osr", False)),
     }
 
 

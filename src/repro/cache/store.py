@@ -62,7 +62,11 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: reads ``vm.mutation_stats`` at runtime instead of pinning the
 #: compiling VM's stats record, so shared-code-space sessions charge
 #: themselves; v4 artifacts carry the old pinned form.
-SCHEMA_VERSION = 5
+#: v6: on-stack replacement — specialized artifacts may carry
+#: ``deoptcheck`` guards with ``special_tib``/``osr_deopt`` pins, the
+#: opt1 IR serializer gained the ``pc``/``live`` Extra fields, and
+#: ``environment_payload`` gained the ``osr`` entry.
+SCHEMA_VERSION = 6
 
 
 def cache_stamp() -> str:

@@ -71,11 +71,14 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
         print(disassemble_program(unit))
         return 0
     # Quickened bodies only exist in a linked, executed VM (quickening
-    # happens at tier-up), so --quick runs the program first.
+    # happens at tier-up), so --quick runs the program first.  Asking
+    # for the quickened view forces quickening on even under
+    # JX_QUICKEN=0.
     from repro.bytecode import disassemble_quick
+    from repro.vm.runtime import VMConfig
 
     plan = build_mutation_plan(source) if args.mutate else None
-    vm = VM(unit, mutation_plan=plan)
+    vm = VM(unit, mutation_plan=plan, config=VMConfig(quicken=True))
     vm.run()
     shown = 0
     for rc in vm.classes.values():
@@ -244,10 +247,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import format_opt_pass_report, format_text_report
 
-    spec, _vm, _result, telemetry = _run_instrumented(args)
+    spec, vm, _result, telemetry = _run_instrumented(args)
     print(format_text_report(
         telemetry, title=f"JxVM telemetry: {spec.name}"
     ))
+    stats = vm.mutation_stats
+    print(f"osr          enters={stats.osr_enters} "
+          f"deopts={stats.osr_deopts}")
     budget = format_opt_pass_report(telemetry)
     if budget:
         print(budget)

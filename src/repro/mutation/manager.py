@@ -720,6 +720,11 @@ class MutationManager:
                 bindings.instance = dict(
                     zip(mcr.instance_slots, hs.instance_values)
                 )
+                # The special TIB this version speculates on; the OSR
+                # pass guards mid-frame state writes against it so a
+                # running frame that swaps its own receiver deopts
+                # instead of finishing on a stale state.
+                bindings.tib = mcr.tib_by_instance.get(hs.instance_values)
             bindings.static = dict(
                 zip(mcr.static_slots, hs.static_values)
             )

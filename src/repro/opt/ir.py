@@ -28,6 +28,10 @@ unary ops        ``neg not i2d d2i``: dest <- op args[0]
 ``callsp``       dest? <- special call of extra.rm
 ``calli``        dest? <- interface call, extra.slot/extra.key
 ``intr``         dest? <- intrinsic extra.intrinsic
+``deoptcheck``   if args[0].tib is not extra.tib: deopt to the
+                 interpreter at bytecode extra.pc with args[1:] as the
+                 locals named by extra.live (OSR mid-frame bail-out;
+                 :mod:`repro.vm.osr`)
 ===============  ======================================================
 
 Terminators (exactly one, last in each block): ``jump`` (extra.target),
@@ -108,6 +112,18 @@ class Extra:
     if_true: int | None = None
     if_false: int | None = None
     name: str = ""
+    #: Bytecode pc this instruction's state maps back to — the resume
+    #: point a deopt transfers the frame to.  Recorded at lowering only
+    #: where the interpreter frame is fully reconstructible (operand
+    #: stack provably empty); never propagated through inlining (an
+    #: inlined callee's pcs are meaningless in the caller's frame).
+    pc: int | None = None
+    #: Local slots live at ``pc`` (the OSR compensation set), as a
+    #: sorted list of indices.
+    live: list | None = None
+    #: The special TIB a ``deoptcheck`` guards (runtime object; never
+    #: serialized — the opt2 pin table carries it symbolically).
+    tib: Any = None
 
 
 BINARY_OPS = frozenset(
@@ -312,6 +328,9 @@ def clone_ir(fn: IRFunction) -> IRFunction:
                         if_true=ex.if_true,
                         if_false=ex.if_false,
                         name=ex.name,
+                        pc=ex.pc,
+                        live=list(ex.live) if ex.live is not None else None,
+                        tib=ex.tib,
                     ),
                     instr.line,
                 )

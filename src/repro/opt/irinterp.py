@@ -220,6 +220,19 @@ def execute_ir(vm: Any, rm: Any, fn: IRFunction, args: list[Any]) -> Any:
                         regs[instr.dest.name] = result
                 elif op == "hookcall":
                     instr.extra.hook(vm, val(a[0]))
+                elif op == "deoptcheck":
+                    obj = val(a[0])
+                    if obj.tib is not instr.extra.tib:
+                        from repro.vm.osr import deopt_to_interpreter
+
+                        live = set(instr.extra.live)
+                        locs = [
+                            regs.get(f"l{i}") if i in live else None
+                            for i in range(fn.max_locals)
+                        ]
+                        return deopt_to_interpreter(
+                            vm, instr.extra.rm, instr.extra.pc, locs
+                        )
                 elif op == "jump":
                     target = instr.extra.target
                     if target <= bid:

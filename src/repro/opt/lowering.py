@@ -203,6 +203,14 @@ class Lowerer:
                     key=f"{cls_name}.{field_name}",
                     hook=instr.state_hook,
                 )
+                # Record the deopt resume point (the pc *after* the
+                # store) when the interpreter frame is reconstructible
+                # there, i.e. the operand stack is provably empty.  The
+                # OSR guard pass (repro.vm.osr) only arms putfields that
+                # carry a pc.
+                if (index + 1 < len(self.depths)
+                        and self.depths[index + 1] == 0):
+                    extra.pc = index + 1
                 out.append(
                     IRInstr("putfield", None, [obj, value], extra, line)
                 )
@@ -220,6 +228,9 @@ class Lowerer:
                     key=f"{cls_name}.{field_name}",
                     hook=instr.state_hook,
                 )
+                if (index + 1 < len(self.depths)
+                        and self.depths[index + 1] == 0):
+                    extra.pc = index + 1
                 out.append(IRInstr("putstatic", None, [value], extra, line))
             elif op is Op.NEW:
                 push_result("new", [], Extra(rc=instr.resolved), line)
@@ -357,3 +368,33 @@ class Lowerer:
 def lower_method(method: MethodInfo) -> IRFunction:
     """Lower one linked method's bytecode to IR."""
     return Lowerer(method).lower()
+
+
+def lower_method_osr(method: MethodInfo, pc: int) -> IRFunction:
+    """Lower ``method`` as an OSR continuation entered at bytecode ``pc``.
+
+    The whole body is lowered normally, then the function's entry is
+    repointed at the block that starts at ``pc`` and every local becomes
+    a parameter (the captured interpreter frame arrives as the args
+    list).  Pre-loop blocks become unreachable and are pruned by the
+    normal pipeline passes.
+
+    ``pc`` must be a block leader with an empty operand stack — the
+    caller (``repro.vm.osr``) checks eligibility; this raises
+    ``ValueError`` as a belt-and-braces guard.
+    """
+    lw = Lowerer(method)
+    fn = lw.lower()
+    if lw.depths[pc] != 0:
+        raise ValueError(f"OSR pc {pc} has non-empty operand stack")
+    entry = lw.cfg.block_of_instr[pc]
+    if lw.cfg.blocks[entry].start != pc:
+        raise ValueError(f"OSR pc {pc} is not a block leader")
+    fn.entry = entry
+    # All locals arrive as arguments; unknown kinds for the non-param
+    # slots (type inference treats "?" as top).
+    fn.param_kinds = fn.param_kinds + ["?"] * (
+        fn.max_locals - len(fn.param_kinds)
+    )
+    fn.num_args = fn.max_locals
+    return fn

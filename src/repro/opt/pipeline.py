@@ -159,6 +159,19 @@ class OptCompiler:
             self._pass(
                 "specialize", lambda f: specialize_ir(f, bindings), fn
             )
+            if (bindings.tib is not None
+                    and getattr(self.vm.config, "osr", False)):
+                # Arm mid-frame deopt: after every TIB-re-evaluating
+                # state write on `this`, guard that the receiver still
+                # has the specialized-for TIB and bail to the
+                # interpreter otherwise (OSR's reverse direction).
+                from repro.vm.osr import insert_deopt_points
+
+                self._pass(
+                    "deoptpoints",
+                    lambda f: insert_deopt_points(f, rm, bindings.tib),
+                    fn,
+                )
         self._run_core_pipeline(fn)
         if opt_level >= 2:
             self._pass("strength", strength_reduce, fn)
@@ -168,6 +181,41 @@ class OptCompiler:
                 self._pass("boundselim", eliminate_bounds_checks, fn)
             self._run_core_pipeline(fn)
         return fn
+
+    def compile_osr_continuation(self, rm: Any, pc: int, opt_level: int):
+        """Compile an OSR continuation of ``rm`` entered at bytecode
+        ``pc`` and return ``(executor, code_size_bytes)``.
+
+        The executor's signature matches the normal one —
+        ``executor(vm, args)`` — but ``args`` is the *full captured
+        locals frame* (``max_locals`` values), not the parameter list.
+        Continuations are per-frame-shape artifacts keyed by runtime
+        state, so they are never cached or snapshotted; the entry-point
+        cache lives on the RuntimeMethod (``rm.osr_entries``)."""
+        from repro.opt.lowering import lower_method_osr
+
+        fn = lower_method_osr(rm.info, pc)
+        if opt_level >= 2:
+            self._pass(
+                "inline",
+                lambda f: inline_calls(f, self.vm, rm, self.config.inline),
+                fn,
+            )
+        self._run_core_pipeline(fn)
+        if opt_level >= 2:
+            self._pass("strength", strength_reduce, fn)
+            if self.config.budget_gate and not _bounds_may_help(fn):
+                self._gated("boundselim")
+            else:
+                self._pass("boundselim", eliminate_bounds_checks, fn)
+            self._run_core_pipeline(fn)
+        if opt_level == 1:
+            def executor(vm, args, _fn=fn, _rm=rm):
+                return execute_ir(vm, _rm, _fn, args)
+
+            return executor, fn.instr_count() * IR_INSTR_BYTES
+        source, executor = PyCodegen(fn, func_name="_jx_osr").generate()
+        return executor, len(source)
 
     def compile(
         self,

@@ -355,6 +355,35 @@ class PyCodegen:
                 hook = self._pin("hook", instr.extra.hook,
                                  hook_ref(instr.extra.hook))
                 E(indent, f"{hook}(vm, {args[0]})")
+        elif op == "deoptcheck":
+            # Mid-frame deopt guard (repro.vm.osr): the preceding state
+            # write re-evaluated the receiver's TIB; if it moved off the
+            # specialized-for special TIB, this frame's speculation is
+            # stale — hand the live locals back to the interpreter at
+            # the recorded pc.  Fast path is one identity test.
+            from repro.vm.osr import deopt_to_interpreter
+
+            ex = instr.extra
+            tib = ex.tib
+            try:
+                tib_ref = [
+                    "special_tib",
+                    tib.type_info.name,
+                    [encode_value(v) for v in tib.state],
+                ]
+            except UnlinkableArtifact:
+                tib_ref = None
+            tib_p = self._pin("tib", tib, tib_ref)
+            rm_p = self._pin(
+                "rm", ex.rm, ["method", ex.rm.rclass.name, ex.rm.info.key]
+            )
+            dfn = self._pin("dfn", deopt_to_interpreter, ["osr_deopt"])
+            by_slot = {k: args[1 + j] for j, k in enumerate(ex.live)}
+            frame = ", ".join(
+                by_slot.get(i, "None") for i in range(self.fn.max_locals)
+            )
+            E(indent, f"if {args[0]}.tib is not {tib_p}:")
+            E(indent + 1, f"return {dfn}(vm, {rm_p}, {ex.pc}, [{frame}])")
         elif op == "ret":
             E(indent, f"return {args[0]}" if args else "return None")
         else:  # pragma: no cover
@@ -468,6 +497,16 @@ class PyCodegen:
         E(2, "_sf = vm.jtoc.fields")
         for i in range(fn.num_args):
             E(2, f"v_l{i} = args[{i}]")
+        # Deopt guards capture *may-live* locals unconditionally, so a
+        # local the interpreter would hold as unwritten (= None) must
+        # exist in this frame too.
+        if any(
+            instr.op == "deoptcheck"
+            for block in blocks
+            for instr in block.instrs
+        ):
+            for i in range(fn.num_args, fn.max_locals):
+                E(2, f"v_l{i} = None")
         if len(blocks) == 1 and blocks[0].terminator.op == "ret":
             for instr in blocks[0].instrs:
                 self._emit_instr(instr, 2)

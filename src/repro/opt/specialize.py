@@ -27,11 +27,16 @@ class SpecBindings:
     ``instance``: field slot -> value (applies to loads off ``this``).
     ``static``: JTOC slot -> value.
     ``label``: human-readable state description, for diagnostics.
+    ``tib``: the special TIB this version speculates on, when the
+    bindings cover instance state — the OSR pass guards mid-frame state
+    writes against it (:func:`repro.vm.osr.insert_deopt_points`);
+    ``None`` for static-only specials (no per-object TIB to guard).
     """
 
     instance: dict[int, Any] = field(default_factory=dict)
     static: dict[int, Any] = field(default_factory=dict)
     label: str = ""
+    tib: Any = None
 
     def __bool__(self) -> bool:
         return bool(self.instance) or bool(self.static)
@@ -41,7 +46,10 @@ class SpecBindings:
         and value that steers specialization, in canonical order.  The
         ``label`` is deliberately excluded — it is diagnostic text, and
         two requests binding the same slots to the same values must
-        share one cache entry."""
+        share one cache entry.  ``tib`` is excluded too: it is the
+        runtime object *derived from* the instance bindings, so it adds
+        no key information (the generated guard pins it symbolically,
+        and the ``osr`` flag is part of the environment payload)."""
         return [
             sorted((slot, repr(v)) for slot, v in self.instance.items()),
             sorted((slot, repr(v)) for slot, v in self.static.items()),

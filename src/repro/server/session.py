@@ -71,6 +71,11 @@ class Session(VM):
         self.config = template.config
         self.quickener = template.quickener
         self._opt_compiler = template._opt_compiler
+        # Sessions never OSR-enter (frozen thresholds are NEVER), but
+        # deopt guards baked into shared specialized code call
+        # osr-machinery through the invoking vm, and diagnostics read
+        # vm.osr uniformly.
+        self.osr = template.osr
         # Published by the manager at attach time; plain dict reads.
         self.lifetime_constants = getattr(
             template, "lifetime_constants", {}

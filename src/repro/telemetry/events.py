@@ -13,6 +13,10 @@ name                      emitted when
 ``hook_fired``            any state-field / constructor-exit hook runs
 ``state_reeval``          a class's static-side state match is re-applied
 ``tier_promote``          the adaptive system promotes a method's tier
+``osr_enter``             a running interpreter frame transfers into
+                          compiled code at a hot loop back-edge
+``osr_deopt``             a specialized compiled frame bails back to the
+                          interpreter after a TIB swap invalidated it
 ``compile_begin``         the optimizing compiler starts one version
 ``compile_end``           ... and finishes it (carries the duration)
 ``special_install``       a specialized version is installed for a hot state
@@ -47,6 +51,8 @@ EVENT_NAMES = (
     "hook_fired",
     "state_reeval",
     "tier_promote",
+    "osr_enter",
+    "osr_deopt",
     "compile_begin",
     "compile_end",
     "special_install",
@@ -68,6 +74,8 @@ EVENT_CATEGORIES = {
     "special_install": "mutation",
     "online_activate": "mutation",
     "tier_promote": "adaptive",
+    "osr_enter": "adaptive",
+    "osr_deopt": "adaptive",
     "compile_begin": "compile",
     "compile_end": "compile",
     "opt_pass": "compile",

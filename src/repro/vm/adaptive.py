@@ -24,12 +24,26 @@ from typing import Any, Callable
 
 from repro.telemetry.core import maybe as _tel_maybe
 from repro.telemetry.metrics import COUNT_BUCKETS
-from repro.vm.compiled import NEVER
+
+#: Sentinel threshold meaning "never promote again".
+NEVER = 1 << 60
+
+#: Ticks credited per method entry; backedges credit 1 each.  This is
+#: the single definition — the baseline dispatch (`repro.vm.compiled`)
+#: and the quickened interpreter's inline-cache fast paths
+#: (`repro.vm.interpreter`) both import it from here (it used to be
+#: duplicated and only pinned equal by a test).
+ENTRY_TICKS = 16
 
 
 @dataclass
 class AdaptiveConfig:
     """Tunables for the adaptive system."""
+
+    #: Ticks one method entry is worth, as a class-level constant (not a
+    #: per-instance field: every sampling site reads it as a plain
+    #: global for speed, so it is program-wide by construction).
+    ENTRY_TICKS = ENTRY_TICKS
 
     enabled: bool = True
     #: Ticks before promotion opt0 -> opt1 (16 ticks per invocation).

@@ -28,16 +28,22 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.vm.adaptive import ENTRY_TICKS, NEVER
 from repro.vm.interpreter import interpret, interpret_quick
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bytecode.classfile import MethodInfo
 
-#: Sentinel threshold meaning "never promote again".
-NEVER = 1 << 60
-
-#: Ticks credited per method entry; backedges credit 1 each.
-ENTRY_TICKS = 16
+__all__ = [
+    # Re-exported for existing importers; the single definitions live in
+    # repro.vm.adaptive (see AdaptiveConfig.ENTRY_TICKS).
+    "NEVER",
+    "ENTRY_TICKS",
+    "MethodSamples",
+    "CompiledMethod",
+    "BaselineCompiled",
+    "OptCompiled",
+]
 
 
 class MethodSamples:

@@ -99,10 +99,10 @@ _LOAD_MUL = Op.LOAD_MUL
 _GETFIELD_RETURN = Op.GETFIELD_RETURN
 _FIELD_INC = Op.FIELD_INC
 
-#: Ticks credited per method entry — must equal
-#: :data:`repro.vm.compiled.ENTRY_TICKS` (that module imports this one,
-#: so importing it here would be circular; a unit test pins equality).
-_ENTRY_TICKS = 16
+#: Ticks credited per method entry — the shared definition from the
+#: adaptive system (`AdaptiveConfig.ENTRY_TICKS`); `repro.vm.compiled`
+#: re-exports the same constant.
+from repro.vm.adaptive import ENTRY_TICKS as _ENTRY_TICKS
 
 
 class JxStackTrace(VMRuntimeError):
@@ -115,18 +115,25 @@ class JxStackTrace(VMRuntimeError):
         super().__init__(f"{cause}\n  at {trace}")
 
 
-def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
-    """Execute ``rm``'s bytecode with ``args`` as the initial locals."""
+def interpret(vm: Any, rm: Any, args: list[Any], pc: int = 0) -> Any:
+    """Execute ``rm``'s bytecode with ``args`` as the initial locals.
+
+    A non-zero ``pc`` resumes mid-method — the OSR deopt path
+    (:func:`repro.vm.osr.deopt_to_interpreter`) re-enters here with the
+    reconstructed frame; deopt pcs always have an empty operand stack,
+    so ``args`` (the full locals list there) plus ``pc`` is the whole
+    frame.
+    """
     info = rm.info
     code = info.code
     locals_: list[Any] = args + [None] * (info.max_locals - len(args))
     stack: list[Any] = []
     samples = rm.samples
     adaptive = vm.adaptive
+    osr = vm.osr
     tel = vm.telemetry
     if tel is not None and tel.enabled:
         tel.count("interp.frames")
-    pc = 0
     try:
         while True:
             instr = code[pc]
@@ -166,6 +173,19 @@ def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
                     samples.ticks += 1
                     if samples.ticks >= samples.threshold:
                         adaptive.on_hot(rm)
+                        # The method just got promoted under this frame:
+                        # transfer the live frame into the compiled code
+                        # instead of interpreting the rest of the loop
+                        # (cold path — the threshold is now retired or
+                        # far away, so steady state never reaches here).
+                        if (
+                            osr is not None
+                            and not stack
+                            and rm.compiled.opt_level > 0
+                        ):
+                            entry = osr.entry_for(rm, target)
+                            if entry is not None:
+                                return entry(vm, locals_)
                 pc = target
             elif op is _JUMP_IF_FALSE:
                 if not stack.pop():
@@ -174,6 +194,14 @@ def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _JUMP_IF_TRUE:
                 if stack.pop():
@@ -182,6 +210,14 @@ def interpret(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _ADD:
                 b = stack.pop()
@@ -421,6 +457,9 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
     locals_: list[Any] = args + rm.quick_pad
     stack: list[Any] = []
     samples = rm.samples
+    # Quickening is slot- and pc-preserving, so OSR transfers use the
+    # same (locals, pc) coordinates as the pristine interpreter.
+    osr = vm.osr
     tel = vm.telemetry
     tel_on = tel is not None and tel.enabled
     if tel_on:
@@ -507,6 +546,14 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             vm.adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _JUMP_IF_FALSE:
                 if not stack.pop():
@@ -515,6 +562,14 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             vm.adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _ITER_LT_JF:
                 a = instr.arg
@@ -525,6 +580,14 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             vm.adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _INC:
                 a = instr.arg
@@ -611,6 +674,14 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                     samples.ticks += 1
                     if samples.ticks >= samples.threshold:
                         vm.adaptive.on_hot(rm)
+                        if (
+                            osr is not None
+                            and not stack
+                            and rm.compiled.opt_level > 0
+                        ):
+                            entry = osr.entry_for(rm, target)
+                            if entry is not None:
+                                return entry(vm, locals_)
                 pc = target
             elif op is _CMP_EQ_JF:
                 b = stack.pop()
@@ -623,6 +694,14 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             vm.adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _INVOKEINTERFACE_QUICK:
                 ic = instr.resolved
@@ -756,6 +835,14 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                         samples.ticks += 1
                         if samples.ticks >= samples.threshold:
                             vm.adaptive.on_hot(rm)
+                            if (
+                                osr is not None
+                                and not stack
+                                and rm.compiled.opt_level > 0
+                            ):
+                                entry = osr.entry_for(rm, target)
+                                if entry is not None:
+                                    return entry(vm, locals_)
                     pc = target
             elif op is _CMP_LE:
                 b = stack.pop()

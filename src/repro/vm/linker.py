@@ -57,6 +57,7 @@ class RuntimeMethod:
         "compile_history",
         "quick_code",
         "quick_pad",
+        "osr_entries",
     )
 
     def __init__(self, info: MethodInfo, rclass: "RuntimeClass") -> None:
@@ -87,6 +88,10 @@ class RuntimeMethod:
         #: Precomputed ``[None] * (max_locals - num_args)`` so the
         #: quickened frame prologue builds its locals with one concat.
         self.quick_pad: list | None = None
+        #: OSR entry-point cache (:mod:`repro.vm.osr`): back-edge pc ->
+        #: continuation callable, or ``False`` for pcs proven
+        #: ineligible; ``None`` until the first OSR attempt.
+        self.osr_entries: dict[int, Any] | None = None
 
     @property
     def qualified_name(self) -> str:

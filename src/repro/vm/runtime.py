@@ -60,6 +60,11 @@ def _quicken_default() -> bool:
     return os.environ.get("JX_QUICKEN", "1") != "0"
 
 
+def _osr_default() -> bool:
+    """On-stack replacement defaults on; ``JX_OSR=0`` disables it."""
+    return os.environ.get("JX_OSR", "1") != "0"
+
+
 @dataclass
 class VMConfig:
     """VM-level execution tunables (the adaptive system has its own
@@ -70,6 +75,14 @@ class VMConfig:
     #: (:mod:`repro.bytecode.quicken`).  Off, the VM runs exactly the
     #: pre-quickening interpreter.
     quicken: bool = field(default_factory=_quicken_default)
+    #: On-stack replacement (:mod:`repro.vm.osr`): transfer running
+    #: interpreter frames into compiled code at hot loop back-edges, and
+    #: bail compiled specialized frames back to the interpreter when a
+    #: TIB swap invalidates their speculation mid-frame.  Off, frames
+    #: finish in the tier they started in (promotion waits for the next
+    #: invocation) and specialized code runs unguarded, exactly as
+    #: before.
+    osr: bool = field(default_factory=_osr_default)
 
 
 @dataclass
@@ -98,6 +111,12 @@ class VMStats:
     #: (repro.analysis.specsafety) because a state-field write could not
     #: be proven hooked; their objects keep the class TIB.
     plans_downgraded: int = 0
+    #: On-stack replacements: interpreter frames transferred into
+    #: compiled code at a hot loop back-edge.
+    osr_enters: int = 0
+    #: Mid-frame deopts: specialized frames bailed back to the
+    #: interpreter after a TIB swap invalidated their speculation.
+    osr_deopts: int = 0
 
 
 class VM:
@@ -181,6 +200,12 @@ class VM:
         self.mutation_manager: Any = None
         self.config = config or VMConfig()
         self.quickener: Any = None
+        if self.config.osr:
+            from repro.vm.osr import OSRManager
+
+            self.osr: Any = OSRManager(self)
+        else:
+            self.osr = None
         if mutation_plan is not None:
             from repro.mutation.manager import MutationManager
 

@@ -65,6 +65,17 @@ def test_all_configurations_byte_identical(name, tmp_path):
     opt2, _ = _run(spec, source, AGGRESSIVE)
     assert opt2 == reference, f"{name}: opt2 diverged from interpreter"
 
+    osr, osr_vm = _run(spec, source, AGGRESSIVE,
+                       config=VMConfig(osr=True))
+    assert osr == reference, f"{name}: OSR-on run diverged"
+    assert osr_vm.osr is not None
+    noosr, noosr_vm = _run(spec, source, AGGRESSIVE,
+                           config=VMConfig(osr=False))
+    assert noosr == reference, f"{name}: OSR-off run diverged"
+    assert noosr_vm.osr is None
+    assert noosr_vm.mutation_stats.osr_enters == 0
+    assert noosr_vm.mutation_stats.osr_deopts == 0
+
     special, on_vm = _run(
         spec, source, AGGRESSIVE, plan=_with_coalesce(plan, True)
     )
@@ -87,6 +98,23 @@ def test_all_configurations_byte_identical(name, tmp_path):
     )
     assert special_noquick == reference, (
         f"{name}: specialized quicken-off run diverged"
+    )
+
+    # Specialized code with and without mid-frame deopt guards: OSR must
+    # be invisible in output either way.
+    special_osr, _ = _run(
+        spec, source, AGGRESSIVE, plan=_with_coalesce(plan, True),
+        config=VMConfig(osr=True),
+    )
+    assert special_osr == reference, (
+        f"{name}: specialized OSR-on run diverged"
+    )
+    special_noosr, _ = _run(
+        spec, source, AGGRESSIVE, plan=_with_coalesce(plan, True),
+        config=VMConfig(osr=False),
+    )
+    assert special_noosr == reference, (
+        f"{name}: specialized OSR-off run diverged"
     )
 
     cold, cold_vm = _run(spec, source, AGGRESSIVE, plan=plan,

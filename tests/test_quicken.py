@@ -138,12 +138,16 @@ def test_fused_ops_are_quick_ops_with_known_span():
 
 
 def test_entry_ticks_pin():
-    """The interpreter duplicates ENTRY_TICKS (importing it from
-    compiled.py would be circular); the two constants must never drift."""
+    """ENTRY_TICKS has exactly one definition (repro.vm.adaptive);
+    every other module's name must be that object, not a copy that
+    could drift."""
+    from repro.vm import adaptive
     from repro.vm.compiled import ENTRY_TICKS
     from repro.vm.interpreter import _ENTRY_TICKS
 
-    assert _ENTRY_TICKS == ENTRY_TICKS
+    assert ENTRY_TICKS is adaptive.ENTRY_TICKS
+    assert _ENTRY_TICKS is adaptive.ENTRY_TICKS
+    assert adaptive.AdaptiveConfig.ENTRY_TICKS is adaptive.ENTRY_TICKS
 
 
 # ---------------------------------------------------------------------------

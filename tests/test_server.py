@@ -85,7 +85,7 @@ def test_session_byte_identical_to_solo_vm(name):
         solo.mutation_stats.tib_swaps
     assert session.mutation_stats.swaps_coalesced == \
         solo.mutation_stats.swaps_coalesced
-    if name == "jbb2000":
+    if name == "jbb2000" and plan.config.coalesce_swaps:
         assert session.mutation_stats.swaps_coalesced > 0
 
 

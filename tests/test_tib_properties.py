@@ -605,6 +605,164 @@ def test_lint_finding_predicts_observable_stale_tib():
         _check_tib_matches_state(vm, rc, obj, grade_slot)
 
 
+# ---------------------------------------------------------------------------
+# OSR: randomized TIB swaps fired inside a running hot loop
+# ---------------------------------------------------------------------------
+
+#: A self-mutating hot loop: ``spin`` both reads and (at random
+#: iterations, via the VM's seeded RNG intrinsic) rewrites its own state
+#: field, so a specialized frame's speculation is invalidated while the
+#: frame is still running — the exact situation mid-frame deopt exists
+#: for.  The offline plan builder rightly rejects such a class (the
+#: field is unstable), so the plan is built by hand.
+OSR_SOURCE = """
+class Worker {
+    int mode;
+    Worker(int m) { mode = m; }
+    public int spin(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++) {
+            if (mode == 0) { acc = acc + 1; }
+            else if (mode == 1) { acc = acc + 3; }
+            else if (mode == 2) { acc = acc + 7; }
+            else { acc = acc + 13; }
+            if (Sys.randInt(50) == 0) { mode = Sys.randInt(5); }
+        }
+        return acc;
+    }
+}
+class Main {
+    static Worker[] ws;
+    static void main() {
+        Sys.randSeed(SEED);
+        ws = new Worker[3];
+        int total = 0;
+        for (int j = 0; j < 3; j++) {
+            ws[j] = new Worker(j);
+            total = total + ws[j].spin(1500);
+        }
+        Sys.print("" + total + ":" + ws[0].mode + ":" + ws[1].mode
+                  + ":" + ws[2].mode);
+    }
+}
+"""
+
+
+def _osr_plan():
+    from repro.mutation.plan import (
+        HotState,
+        MutableClassPlan,
+        MutationPlan,
+        StateFieldSpec,
+    )
+
+    plan = MutationPlan()
+    plan.classes["Worker"] = MutableClassPlan(
+        class_name="Worker",
+        instance_fields=[StateFieldSpec("Worker", "mode", False, 1.0)],
+        hot_states=[HotState((v,), ()) for v in range(4)],  # 4 is cold
+        mutable_methods=["spin"],
+    )
+    return plan
+
+
+def _osr_run(seed, adaptive, osr=True, telemetry=None):
+    from repro import VMConfig
+
+    source = OSR_SOURCE.replace("SEED", str(seed))
+    vm = VM(compile_source(source), mutation_plan=_osr_plan(),
+            adaptive_config=adaptive, telemetry=telemetry,
+            config=VMConfig(osr=osr))
+    out = vm.run().output
+    return vm, out
+
+
+def _worker_states(vm):
+    """(mode value, TIB kind) per Worker reachable from Main.ws."""
+    mcr = vm.mutation_manager.mcrs["Worker"]
+    ws_slot = vm.unit.lookup_field("Main", "ws").slot
+    arr = vm.jtoc.get(ws_slot)
+    return [
+        (
+            mcr.read_instance_values(obj),
+            "special" if obj.tib.is_special else "class",
+        )
+        for obj in arr.data
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+def test_random_swaps_mid_loop_deopt_and_converge(seed):
+    """Randomized TIB-swap sequences fired inside a running hot loop:
+    the OSR run must actually enter and deopt, and finish with output,
+    per-object fields, TIB placement, and swap counts identical to the
+    pure-interpreter run and to the OSR-off run."""
+    interp_vm, interp_out = _osr_run(seed, INTERP_ONLY)
+    osr_vm, osr_out = _osr_run(seed, AGGRESSIVE, osr=True)
+    off_vm, off_out = _osr_run(seed, AGGRESSIVE, osr=False)
+
+    assert osr_out == interp_out, "OSR run diverged from interpreter"
+    assert off_out == interp_out, "OSR-off run diverged from interpreter"
+
+    assert _worker_states(osr_vm) == _worker_states(interp_vm)
+    assert _worker_states(off_vm) == _worker_states(interp_vm)
+
+    # Hot final states sit on special TIBs, cold ones on the class TIB.
+    for values, kind in _worker_states(osr_vm):
+        expected = "special" if values[0] in range(4) else "class"
+        assert kind == expected
+
+    assert (
+        osr_vm.mutation_stats.tib_swaps
+        == interp_vm.mutation_stats.tib_swaps
+        == off_vm.mutation_stats.tib_swaps
+    )
+
+    # The property is vacuous unless both transfer directions fired.
+    assert osr_vm.mutation_stats.osr_enters >= 1
+    assert osr_vm.mutation_stats.osr_deopts >= 1
+    assert off_vm.mutation_stats.osr_enters == 0
+    assert off_vm.mutation_stats.osr_deopts == 0
+
+
+@pytest.mark.parametrize("seed", [7])
+def test_osr_event_ordering(seed):
+    """Telemetry tells the OSR story in causal order: a continuation is
+    compiled before its frame enters it, and a mid-frame deopt can only
+    follow the specialized compile whose speculation it abandons."""
+    vm, _ = _osr_run(seed, AGGRESSIVE, osr=True, telemetry=True)
+    events = vm.telemetry.bus.events()
+
+    enters = [e for e in events if e.name == "osr_enter"]
+    deopts = [e for e in events if e.name == "osr_deopt"]
+    assert enters and deopts
+
+    for enter in enters:
+        prior = [
+            e for e in events
+            if e.name == "compile_end" and e.args.get("osr")
+            and e.args.get("method") == enter.args["method"]
+            and e.seq < enter.seq
+        ]
+        assert prior, f"osr_enter before its continuation compile: {enter}"
+        assert enter.args["to_level"] >= 1
+    for deopt in deopts:
+        prior = [
+            e for e in events
+            if e.name == "compile_begin" and e.args.get("special")
+            and e.args.get("method") == deopt.args["method"]
+            and e.seq < deopt.seq
+        ]
+        assert prior, f"osr_deopt before any specialized compile: {deopt}"
+
+    bus = vm.telemetry.bus
+    assert bus.count("osr_enter") == vm.mutation_stats.osr_enters
+    assert bus.count("osr_deopt") == vm.mutation_stats.osr_deopts
+    counters = vm.telemetry.summary()["counters"]
+    assert counters["osr.enter"] == vm.mutation_stats.osr_enters
+    assert counters["osr.deopt"] == vm.mutation_stats.osr_deopts
+
+
 def test_unresolvable_field_write_warns_and_skips_hook():
     """A PUTFIELD naming a field the unit cannot resolve (stale plan or
     hand-edited bytecode) must not crash hook installation."""
