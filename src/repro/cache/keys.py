@@ -137,6 +137,12 @@ def environment_payload(vm: Any) -> dict:
         "coalesce": coalesce,
         "analysis": analysis,
         "osr": bool(getattr(vm.config, "osr", False)),
+        # Sharing merges special TIBs (changing which TIB identity a
+        # guarded special pins); memoization suppresses the inline swap
+        # fast path (generated state writes call the epoch-bumping
+        # closure instead).  Both therefore shape opt2 artifacts.
+        "spec_share": bool(getattr(vm.config, "spec_share", False)),
+        "memo": bool(getattr(vm.config, "memo", False)),
     }
 
 

@@ -66,7 +66,12 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: ``deoptcheck`` guards with ``special_tib``/``osr_deopt`` pins, the
 #: opt1 IR serializer gained the ``pc``/``live`` Extra fields, and
 #: ``environment_payload`` gained the ``osr`` entry.
-SCHEMA_VERSION = 6
+#: v7: specialization sharing + memoization — ``environment_payload``
+#: gained the ``spec_share``/``memo`` entries (sharing merges special
+#: TIBs, memoization suppresses the inline swap fast path), and shared
+#: bodies are stored once under the compiling (leader) state's key —
+#: aliased states never consult the cache.
+SCHEMA_VERSION = 7
 
 
 def cache_stamp() -> str:

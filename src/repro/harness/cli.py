@@ -182,7 +182,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"{mut['swaps_coalesced']} coalesced)")
         print(f"  hooks fired      baseline {base['hooks_fired']}, "
               f"mutated {mut['hooks_fired']}; "
-              f"specials compiled: {mut['specials_compiled']}")
+              f"specials compiled: {mut['specials_compiled']} "
+              f"(+{mut['specials_shared']} shared); "
+              f"memo hits: {mut['memo_hits']}")
     if cache_dir is not None:
         b, m = comparison.baseline, comparison.mutated
         hits = b.cache_hits + m.cache_hits
@@ -254,6 +256,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     stats = vm.mutation_stats
     print(f"osr          enters={stats.osr_enters} "
           f"deopts={stats.osr_deopts}")
+    # Specials/memo lines read the unified VMStats counters (the same
+    # source ``manager.describe()`` aliases), so per-session numbers
+    # under ``jx serve`` and solo runs report identically.
+    print(f"specials     compiled={stats.specials_compiled} "
+          f"shared={stats.specials_shared} "
+          f"tibs_shared={stats.special_tibs_shared}")
+    print(f"memo         hits={stats.memo_hits} "
+          f"fills={vm.memo.fills} entries={len(vm.memo.entries)}")
     budget = format_opt_pass_report(telemetry)
     if budget:
         print(budget)

@@ -180,6 +180,8 @@ def telemetry_compile_summary(report: dict | None) -> dict:
         "swaps_coalesced": 0,
         "hooks_fired": 0,
         "specials_compiled": 0,
+        "specials_shared": 0,
+        "memo_hits": 0,
     }
     if not report:
         return out
@@ -198,6 +200,10 @@ def telemetry_compile_summary(report: dict | None) -> dict:
     out["specials_compiled"] = counters.get(
         "mutation.specials_compiled", 0
     )
+    out["specials_shared"] = counters.get(
+        "mutation.specials_shared", 0
+    )
+    out["memo_hits"] = counters.get("vm.memo_hits", 0)
     return out
 
 

@@ -123,6 +123,32 @@ class OptCompiler:
             if not changed:
                 break
 
+    def spec_ir(self, rm: Any):
+        """The post-inline opt2 IR specialization starts from, for
+        analyses (:mod:`repro.opt.eqstate`) that must see exactly what
+        ``specialize_ir`` will rewrite.
+
+        Returns the general compile's snapshot when one exists; a
+        cache-warm general compile links an artifact without ever
+        lowering, so this builds (and snapshots) the IR on demand.
+        Callers must treat the result as read-only — ``build_ir`` clones
+        the snapshot before mutating it.
+        """
+        fn = self._ir_snapshots.get(id(rm))
+        if fn is None:
+            fn = self._pass(
+                "lower", lambda _f: lower_method(rm.info), None
+            )
+            self._pass(
+                "inline",
+                lambda f: inline_calls(
+                    f, self.vm, rm, self.config.inline
+                ),
+                fn,
+            )
+            self._ir_snapshots[id(rm)] = fn
+        return fn
+
     def build_ir(
         self,
         rm: Any,

@@ -1,0 +1,152 @@
+"""Memoization of pure specialized methods.
+
+A specialized body whose every instruction is a pure computation over
+its arguments (:func:`repro.opt.eqstate.ir_is_pure`) computes a function
+of ``(state key, args)`` — the state constants are baked in, nothing
+else is read.  Such bodies can return a cached result instead of
+re-running (the mutation-memoization line in PAPERS.md, applied to the
+paper's specialized compiles).
+
+Soundness:
+
+* the **state key** identifies the baked-in constants (the wrapper is
+  installed per ``rm.specials`` entry, so the key is fixed per wrapper);
+* the **args** are keyed by ``(type, value)`` pairs — ``1``/``1.0``/
+  ``True`` never collide, and heap objects key by identity (their
+  default hash), so a receiver-dependent pure result (e.g. ``return
+  this``) stays per-receiver.  Unhashable arguments bypass the table;
+* the **epoch** guards state mutation: every TIB swap of the receiver's
+  class bumps the class epoch (``MemoTable.bump`` — called from the
+  re-evaluation closures and :meth:`MutationManager.record_swap`), and
+  an entry is only valid within the epoch it was filled in.  This is
+  deliberately coarse — any instance of the class changing state
+  invalidates the whole class — because it makes the invalidation hook
+  one dict increment on the already-paid swap path.
+
+The table lives in VM *session state* (``vm.memo``,
+:meth:`repro.vm.runtime.VM._init_session_state`): every
+:class:`repro.server.Session` owns its own table, so memoized results
+can never bleed between tenants of a shared code space.
+
+Cache-linked specials carry no IR (``cm.ir is None``), so their purity
+is unknown and they run unmemoized — a warm-start run is byte-identical
+either way, just without memo hits.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.core import maybe as _tel_maybe
+
+__all__ = ["MemoTable", "MemoizedSpecial"]
+
+_MISS = object()
+
+
+class MemoTable:
+    """Per-session store of memoized specialized-call results."""
+
+    __slots__ = ("entries", "epochs", "hits", "fills", "unkeyable",
+                 "limit")
+
+    def __init__(self, limit: int = 4096) -> None:
+        #: (method ident, epoch, args key) -> result.
+        self.entries: dict[tuple, Any] = {}
+        #: class name -> invalidation epoch, bumped on every TIB swap.
+        self.epochs: dict[str, int] = {}
+        self.hits = 0
+        self.fills = 0
+        #: Calls that bypassed the table (unhashable argument).
+        self.unkeyable = 0
+        #: Entry cap; the table is cleared wholesale when it fills
+        #: (stale-epoch entries are unreachable anyway, and a bound
+        #: keeps long-running sessions from growing without limit).
+        self.limit = limit
+
+    def bump(self, cls_name: str) -> None:
+        """Invalidate every memoized result for ``cls_name``'s methods
+        (called on each TIB swap of the class)."""
+        self.epochs[cls_name] = self.epochs.get(cls_name, 0) + 1
+
+    def describe(self) -> str:
+        return (
+            f"memo: {self.hits} hits, {self.fills} fills, "
+            f"{len(self.entries)} live entries"
+        )
+
+
+class MemoizedSpecial:
+    """A specialized compiled method wrapped with a memo lookup.
+
+    Installed as the ``rm.specials`` value itself (TIB entries then
+    dispatch through it), so identity checks like ``tib.entries[off] is
+    rm.specials[key]`` keep holding.  Every attribute other than
+    ``invoke`` delegates to the wrapped compiled method.
+    """
+
+    __slots__ = ("inner", "cls_name", "method_name", "state_key",
+                 "_ident")
+
+    #: Marker for tests and diagnostics.
+    is_memoized = True
+
+    def __init__(self, inner: Any, cls_name: str, method_name: str,
+                 state_key: Any) -> None:
+        self.inner = inner
+        self.cls_name = cls_name
+        self.method_name = method_name
+        self.state_key = state_key
+        self._ident = (method_name, state_key)
+
+    def __getattr__(self, name: str) -> Any:
+        if name == "inner":  # unset during construction; avoid recursing
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    def invoke(self, vm: Any, args: list[Any]) -> Any:
+        memo = vm.memo
+        epoch = memo.epochs.get(self.cls_name, 0)
+        try:
+            key = (
+                self._ident,
+                epoch,
+                tuple((type(a), a) for a in args),
+            )
+            result = memo.entries.get(key, _MISS)
+        except TypeError:  # unhashable argument
+            memo.unkeyable += 1
+            return self.inner.invoke(vm, args)
+        tel = _tel_maybe(vm.telemetry)
+        if result is not _MISS:
+            memo.hits += 1
+            vm.mutation_stats.memo_hits += 1
+            if tel is not None:
+                tel.count("vm.memo_hits")
+                tel.emit(
+                    "memo_hit",
+                    method=self.method_name,
+                    state=repr(self.state_key),
+                    epoch=epoch,
+                )
+            return result
+        result = self.inner.invoke(vm, args)
+        if len(memo.entries) >= memo.limit:
+            memo.entries.clear()
+        memo.entries[key] = result
+        memo.fills += 1
+        if tel is not None:
+            tel.count("vm.memo_fills")
+            tel.emit(
+                "memo_fill",
+                method=self.method_name,
+                state=repr(self.state_key),
+                epoch=epoch,
+            )
+        return result
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} memoized"
+
+    def __repr__(self) -> str:
+        return f"<MemoizedSpecial {self.describe()}>"

@@ -65,6 +65,16 @@ def _osr_default() -> bool:
     return os.environ.get("JX_OSR", "1") != "0"
 
 
+def _spec_share_default() -> bool:
+    """Specialization sharing defaults on; ``JX_SPEC_SHARE=0`` disables."""
+    return os.environ.get("JX_SPEC_SHARE", "1") != "0"
+
+
+def _memo_default() -> bool:
+    """Pure-special memoization defaults on; ``JX_MEMO=0`` disables."""
+    return os.environ.get("JX_MEMO", "1") != "0"
+
+
 @dataclass
 class VMConfig:
     """VM-level execution tunables (the adaptive system has its own
@@ -83,6 +93,17 @@ class VMConfig:
     #: invocation) and specialized code runs unguarded, exactly as
     #: before.
     osr: bool = field(default_factory=_osr_default)
+    #: Specialization sharing (:mod:`repro.opt.eqstate`): hot states
+    #: whose projections onto a method's state-read set are equal share
+    #: one compiled body, and hot states equivalent modulo the class's
+    #: whole read union share one special TIB.  Off, every hot state
+    #: gets its own compile and TIB, exactly the paper's Fig. 10/12
+    #: linear cost model.
+    spec_share: bool = field(default_factory=_spec_share_default)
+    #: Memoize specialized methods proven pure (:mod:`repro.vm.memo`):
+    #: cache results per (method, state, args), invalidated on TIB swaps
+    #: of the receiver's class.  Off, every call runs the body.
+    memo: bool = field(default_factory=_memo_default)
 
 
 @dataclass
@@ -105,6 +126,20 @@ class VMStats:
     #: bumps this field; ``MutationManager.tib_swaps`` is an alias.
     tib_swaps: int = 0
     special_tibs_created: int = 0
+    #: Hot states that reused another state's special TIB because they
+    #: are equivalent modulo the class's state-read union
+    #: (``VMConfig.spec_share``).
+    special_tibs_shared: int = 0
+    #: Specialized method versions actually compiled — the single source
+    #: of truth (``manager.special_versions_compiled`` is a read-only
+    #: alias, like ``tib_swaps``), bumped per fresh compile only.
+    specials_compiled: int = 0
+    #: ``rm.specials`` entries that alias an already-compiled body (an
+    #: equivalent state's special, or the general body when the method
+    #: reads none of the bound state fields) instead of compiling.
+    specials_shared: int = 0
+    #: Memoized specialized calls answered from ``vm.memo``.
+    memo_hits: int = 0
     #: Re-evaluations skipped by swap coalescing (deferred state writes).
     swaps_coalesced: int = 0
     #: Mutable-class plans detached by the specialization-safety audit
@@ -158,6 +193,12 @@ class VM:
         self.intrinsic_ctx = IntrinsicContext(seed)
         self.mutation_stats = VMStats()
         self.compile_stats = CompileStats()
+        # Memoized specialized-call results (repro.vm.memo) are session
+        # state by construction: results may reference session heap
+        # objects, so the table must never be shared across tenants.
+        from repro.vm.memo import MemoTable
+
+        self.memo = MemoTable()
         self._initialized = False
 
     def _build_program_world(
