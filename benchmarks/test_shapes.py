@@ -1,0 +1,80 @@
+"""Packed-layout benchmark: the heap-accounting acceptance gate.
+
+Shape-based packed layouts (packing, constant unboxing, hot-state
+pinning) must cut the modeled per-object heap bytes of the jbb2000
+workload by at least 20% against the declared-field model (shapes off),
+with byte-identical program output and identical allocation and
+TIB-swap counts — the layout is a pure storage-model change.
+
+Unlike the timing benchmarks this gate is deterministic: the metric is
+``heap.modeled_object_bytes() / heap.objects_allocated`` of one run per
+configuration, so no repeats or clock hygiene are needed.
+
+Results land in ``BENCH_shapes.json`` for cross-PR tracking.
+"""
+
+from conftest import write_bench_scalar
+
+from repro import VM, VMConfig, compile_source
+from repro.mutation import build_mutation_plan
+from repro.workloads.registry import get_workload
+
+MIN_REDUCTION = 0.20
+
+
+def _run(shapes: bool):
+    spec = get_workload("jbb2000")
+    source = spec.source(spec.bench_scale)
+    plan = build_mutation_plan(
+        spec.profile_source(), entry_class=spec.entry_class
+    )
+    unit = compile_source(
+        source, filename=f"<{spec.name}>", entry_class=spec.entry_class,
+        entry_method=spec.entry_method,
+    )
+    vm = VM(unit, mutation_plan=plan, config=VMConfig(shapes=shapes))
+    output = vm.run().output
+    return vm, output
+
+
+def test_packed_layouts_cut_modeled_heap_bytes():
+    vm_on, out_on = _run(True)
+    vm_off, out_off = _run(False)
+
+    # Byte-identical output is non-negotiable: shapes are a pure
+    # storage-model change.
+    assert out_on == out_off, "packed layouts changed program output"
+    assert (
+        vm_on.heap.objects_allocated == vm_off.heap.objects_allocated
+    ), "packed layouts changed the allocation count"
+    assert (
+        vm_on.mutation_stats.tib_swaps == vm_off.mutation_stats.tib_swaps
+    ), "packed layouts changed the TIB-swap count"
+    assert vm_off.heap.shape_transitions == 0
+
+    on_per_obj = (
+        vm_on.heap.modeled_object_bytes() / vm_on.heap.objects_allocated
+    )
+    off_per_obj = (
+        vm_off.heap.modeled_object_bytes() / vm_off.heap.objects_allocated
+    )
+    reduction = (off_per_obj - on_per_obj) / off_per_obj
+    write_bench_scalar(
+        "shapes",
+        workload="jbb2000",
+        objects_allocated=vm_on.heap.objects_allocated,
+        per_object_bytes_shapes_on=on_per_obj,
+        per_object_bytes_shapes_off=off_per_obj,
+        modeled_bytes_shapes_on=vm_on.heap.modeled_object_bytes(),
+        modeled_bytes_shapes_off=vm_off.heap.modeled_object_bytes(),
+        shape_transitions=vm_on.heap.shape_transitions,
+        pinned_bytes_dropped=vm_on.heap.pinned_bytes_dropped,
+        pinned_bytes_restored=vm_on.heap.pinned_bytes_restored,
+        reduction=reduction,
+        min_required_reduction=MIN_REDUCTION,
+    )
+    assert reduction >= MIN_REDUCTION, (
+        f"packed layouts saved only {reduction:.1%} per object "
+        f"(gate: {MIN_REDUCTION:.0%}; on={on_per_obj:.1f}B "
+        f"off={off_per_obj:.1f}B)"
+    )

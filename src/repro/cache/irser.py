@@ -36,6 +36,13 @@ def _encode_extra(ex: Extra) -> dict:
     for fname in _PLAIN_FIELDS:
         value = getattr(ex, fname)
         if value != Extra.__dataclass_fields__[fname].default:
+            if fname == "slot" and type(value) is not int:
+                # Shape-managed slot (repro.vm.shapes): a plain dump
+                # would erase the ShapeField/UnboxedField wrapper, so
+                # store the field identity and re-resolve at link time.
+                cls_name, _, field_name = ex.key.partition(".")
+                out["slot_ref"] = [cls_name, field_name]
+                continue
             out[fname] = value
     if ex.hook is not None:
         ref = hook_ref(ex.hook)
@@ -66,6 +73,14 @@ def _decode_extra(vm: Any, data: dict) -> Extra:
     for fname in _PLAIN_FIELDS:
         if fname in data:
             setattr(ex, fname, data[fname])
+    if "slot_ref" in data:
+        finfo = vm.unit.lookup_field(*data["slot_ref"])
+        if finfo is None or type(finfo.slot) is int:
+            raise UnlinkableArtifact(
+                f"shape-managed slot {data['slot_ref']} did not "
+                f"re-resolve to a shaped field"
+            )
+        ex.slot = finfo.slot
     if "hook" in data:
         ex.hook = resolve_pin(vm, data["hook"])
     if "rc" in data:

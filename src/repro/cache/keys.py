@@ -143,6 +143,10 @@ def environment_payload(vm: Any) -> dict:
         # closure instead).  Both therefore shape opt2 artifacts.
         "spec_share": bool(getattr(vm.config, "spec_share", False)),
         "memo": bool(getattr(vm.config, "memo", False)),
+        # Packed layouts renumber every field slot and can replace slots
+        # with unboxed constants, so any artifact embedding a slot index
+        # depends on the toggle.
+        "shapes": bool(getattr(vm.config, "shapes", False)),
     }
 
 

@@ -71,7 +71,12 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: TIBs, memoization suppresses the inline swap fast path), and shared
 #: bodies are stored once under the compiling (leader) state's key —
 #: aliased states never consult the cache.
-SCHEMA_VERSION = 7
+#: v8: shape-based packed layouts — field slots are renumbered by
+#: packing, unboxed constants fold field reads, pinned state fields
+#: emit guarded/rematerializing accessors, and ``environment_payload``
+#: gained the ``shapes`` entry; v7 artifacts embed declared slot
+#: indices.
+SCHEMA_VERSION = 8
 
 
 def cache_stamp() -> str:

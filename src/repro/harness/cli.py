@@ -12,6 +12,8 @@ Subcommands:
   JSON for chrome://tracing / Perfetto (``-o trace.json``);
 * ``stats WORKLOAD``      — run under telemetry, print the counters /
   histograms / event-taxonomy report;
+* ``heap WORKLOAD``       — run, print the modeled-heap report (packed
+  vs declared bytes, pinning/unboxing savings, top classes);
 * ``serve WORKLOAD``      — run N concurrent sessions over one shared
   code space (``--sessions N --workers K``); exits nonzero if any two
   same-seed sessions diverge (cross-tenant leakage);
@@ -185,6 +187,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"specials compiled: {mut['specials_compiled']} "
               f"(+{mut['specials_shared']} shared); "
               f"memo hits: {mut['memo_hits']}")
+    bm, mm = comparison.baseline, comparison.mutated
+    if bm.declared_heap_bytes:
+        saved = 1.0 - bm.modeled_heap_bytes / bm.declared_heap_bytes
+        print(f"  heap             baseline {bm.modeled_heap_bytes}B modeled"
+              f" vs {bm.declared_heap_bytes}B declared ({saved:.1%} packed"
+              f" out); mutated {mm.modeled_heap_bytes}B, "
+              f"{mm.shape_transitions} layout transitions")
     if cache_dir is not None:
         b, m = comparison.baseline, comparison.mutated
         hits = b.cache_hits + m.cache_hits
@@ -233,6 +242,47 @@ def _run_instrumented(args: argparse.Namespace):
     return spec, vm, result, telemetry
 
 
+def _unboxed_fields(vm) -> int:
+    from repro.vm.shapes import UnboxedField
+
+    return sum(
+        1
+        for rc in vm.classes.values()
+        for finfo in rc.info.fields.values()
+        if isinstance(finfo.slot, UnboxedField)
+    )
+
+
+def _cmd_heap(args: argparse.Namespace) -> int:
+    spec, vm, _result, _telemetry = _run_instrumented(args)
+    heap = vm.heap
+    declared = heap.declared_object_bytes
+    modeled = heap.modeled_object_bytes()
+    saved = (1.0 - modeled / declared) if declared else 0.0
+    print(f"{spec.name}: heap report "
+          f"(shapes {'on' if vm.config.shapes else 'off'})")
+    print(f"objects      {heap.objects_allocated} allocated; "
+          f"{modeled}B modeled vs {declared}B declared "
+          f"({saved:.1%} packed out)")
+    print(f"arrays       {heap.arrays_allocated} allocated; "
+          f"{heap.array_bytes}B (width-scaled elements)")
+    print(f"pinning      transitions={heap.shape_transitions} "
+          f"dropped={heap.pinned_bytes_dropped}B "
+          f"restored={heap.pinned_bytes_restored}B")
+    print(f"unboxed      {_unboxed_fields(vm)} field(s) removed from "
+          f"instances")
+    print("top classes by modeled bytes")
+    print(f"  {'class':24s} {'count':>8s} {'bytes':>10s} "
+          f"{'packed':>7s} {'declared':>9s}")
+    for name, total in heap.top_classes_by_bytes(args.top):
+        rc = vm.classes.get(name)
+        packed = rc.alloc_bytes if rc and rc.alloc_bytes else "-"
+        decl = rc.declared_bytes if rc and rc.declared_bytes else "-"
+        print(f"  {name:24s} {heap.per_class.get(name, 0):>8d} "
+              f"{total:>10d} {packed!s:>7s} {decl!s:>9s}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.telemetry import write_chrome_trace
 
@@ -264,6 +314,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"tibs_shared={stats.special_tibs_shared}")
     print(f"memo         hits={stats.memo_hits} "
           f"fills={vm.memo.fills} entries={len(vm.memo.entries)}")
+    heap = vm.heap
+    print(f"heap         objects={heap.objects_allocated} "
+          f"modeled={heap.modeled_object_bytes()}B "
+          f"declared={heap.declared_object_bytes}B "
+          f"arrays={heap.array_bytes}B")
+    print(f"shapes       {'on' if vm.config.shapes else 'off'} "
+          f"transitions={heap.shape_transitions} "
+          f"dropped={heap.pinned_bytes_dropped}B "
+          f"restored={heap.pinned_bytes_restored}B "
+          f"unboxed={_unboxed_fields(vm)}")
     budget = format_opt_pass_report(telemetry)
     if budget:
         print(budget)
@@ -452,6 +512,23 @@ def main(argv: list[str] | None = None) -> int:
                    help="event ring-buffer capacity")
     p.add_argument("--cache-dir", default=None, help=cache_help)
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "heap",
+        help="run a workload, print the modeled-heap report (packed vs "
+             "declared bytes, pinning, unboxing, top classes)",
+    )
+    p.add_argument("workload")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: the bench scale)")
+    p.add_argument("--no-mutate", action="store_true",
+                   help="run without a mutation plan")
+    p.add_argument("--top", type=int, default=10,
+                   help="classes to list (default 10)")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="event ring-buffer capacity")
+    p.add_argument("--cache-dir", default=None, help=cache_help)
+    p.set_defaults(fn=_cmd_heap)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent compile cache"

@@ -78,6 +78,7 @@ from repro.opt.eqstate import ir_is_pure, state_reads
 from repro.opt.specialize import SpecBindings
 from repro.telemetry.core import maybe as _tel_maybe
 from repro.vm.imt import ConflictStub, DirectEntry, OffsetEntry
+from repro.vm.shapes import pinned_shape, transition as _shape_transition
 from repro.vm.tib import TIB
 
 #: Paper §6: "Mutation occurs at opt2."
@@ -114,7 +115,15 @@ class MutableClassRuntime:
         return tuple(vm.jtoc.fields[slot] for slot in self.static_slots)
 
     def read_instance_values(self, obj: Any) -> tuple:
-        return tuple(obj.fields[slot] for slot in self.instance_slots)
+        f = obj.fields
+        n = len(f)
+        # A pinning shape (repro.vm.shapes) drops tail storage while the
+        # object sits in a hot state; truncated slots read through the
+        # TIB's pinned table.  With shapes off, ``n`` always covers.
+        return tuple(
+            f[s] if s < n else obj.tib.shape.pinned[s]
+            for s in self.instance_slots
+        )
 
     def states_matching_static(self, static_values: tuple) -> list[HotState]:
         return [
@@ -262,12 +271,26 @@ class MutationManager:
                 tib = merged.get(group_key)
             if tib is None:
                 tib = TIB.special_from(mcr.rc.class_tib, state=iv)
+                # Pinning layout (repro.vm.shapes): the hot state's shape
+                # bakes the class's own state-field values into its
+                # pinned tail, so instances entering this TIB drop that
+                # storage.  Falls back to the base shape (or None) when
+                # the class has no pinnable tail or shapes are off.
+                tib.shape = pinned_shape(
+                    mcr.rc, iv, dict(zip(mcr.instance_slots, iv))
+                )
                 self.vm.tib_space.record_special_tib(tib)
                 self.vm.mutation_stats.special_tibs_created += 1
                 if group_key is not None:
                     merged[group_key] = tib
             else:
                 self.vm.mutation_stats.special_tibs_shared += 1
+                if tib.shape is not None and tib.shape.is_pinning:
+                    # A second instance-value tuple joined this merged
+                    # TIB; a pinning shape bakes exactly one tuple's
+                    # values into its tail, so demote to the base shape
+                    # (full storage, no pinned reads) for correctness.
+                    tib.shape = mcr.rc.class_tib.shape
             mcr.tib_by_instance[iv] = tib
             mcr.rc.special_tibs[iv] = tib
 
@@ -601,6 +624,8 @@ class MutationManager:
         The closure charges the ``vm`` it is invoked with, so sessions
         sharing this manager's code space each keep their own counts.
         """
+        if getattr(mcr.rc, "pin_slots", ()):
+            return self._make_reeval_migrating(mcr)
         record = self.record_swap
         class_tib = mcr.rc.class_tib
         tel = self.vm.telemetry
@@ -693,6 +718,34 @@ class MutationManager:
 
         return reeval_tel
 
+    def _make_reeval_migrating(self, mcr: MutableClassRuntime):
+        """Re-evaluation for classes whose shapes pin state fields
+        (``rc.pin_slots`` non-empty, :mod:`repro.vm.shapes`).
+
+        Differences from the fast closures above: state reads are
+        guarded (a pinned slot's storage may be dropped), every swap is
+        followed by a layout :func:`~repro.vm.shapes.transition`, and —
+        deliberately — there is no ``inline_spec``: opt2 code must call
+        the closure so storage migrates, exactly like the instrumented
+        variants.  All accounting funnels through :meth:`record_swap`.
+        """
+        record = self.record_swap
+        class_tib = mcr.rc.class_tib
+        cls_name = mcr.class_name
+        table = mcr.tib_by_instance
+        read = mcr.read_instance_values
+
+        def reeval_migrating(vm: Any, obj: Any) -> None:
+            start = time.perf_counter()
+            tib = table.get(read(obj), class_tib)
+            old = obj.tib
+            if old is not tib:
+                obj.tib = tib
+                record(tib is not class_tib, cls_name, start, vm)
+                _shape_transition(vm, obj, old.shape, tib.shape)
+
+        return reeval_migrating
+
     def record_swap(self, to_special: bool, cls_name: str,
                     start: float | None = None,
                     vm: Any = None) -> None:
@@ -762,9 +815,14 @@ class MutationManager:
         tib = mcr.tib_by_instance.get(values)
         new_tib = tib if tib is not None else mcr.rc.class_tib
         if obj.tib is not new_tib:
+            old = obj.tib
             obj.tib = new_tib
             self.record_swap(
                 new_tib is not mcr.rc.class_tib, mcr.class_name, start, vm
+            )
+            _shape_transition(
+                vm if vm is not None else self.vm,
+                obj, old.shape, new_tib.shape,
             )
 
     def apply_static_state(self, mcr: MutableClassRuntime,

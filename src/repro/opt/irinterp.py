@@ -82,14 +82,25 @@ def execute_ir(vm: Any, rm: Any, fn: IRFunction, args: list[Any]) -> Any:
                         raise NullPointerError(
                             f"null receiver reading {instr.extra.key}"
                         )
-                    regs[instr.dest.name] = obj.fields[instr.extra.slot]
+                    slot = instr.extra.slot
+                    if type(slot) is int:
+                        regs[instr.dest.name] = obj.fields[slot]
+                    else:
+                        # Shape-managed slot: pinned state fields read
+                        # through the TIB's shape when their storage is
+                        # dropped; unboxed constants always do.
+                        regs[instr.dest.name] = slot.read(obj)
                 elif op == "putfield":
                     obj = val(a[0])
                     if obj is None:
                         raise NullPointerError(
                             f"null receiver writing {instr.extra.key}"
                         )
-                    obj.fields[instr.extra.slot] = val(a[1])
+                    slot = instr.extra.slot
+                    if type(slot) is int:
+                        obj.fields[slot] = val(a[1])
+                    else:
+                        slot.store(vm, obj, val(a[1]))
                     if instr.extra.hook is not None:
                         instr.extra.hook(vm, obj)
                 elif op == "getstatic":
@@ -152,7 +163,7 @@ def execute_ir(vm: Any, rm: Any, fn: IRFunction, args: list[Any]) -> Any:
                 elif op == "newarray":
                     length = val(a[0])
                     arr = VMArray(instr.extra.elem, length, instr.extra.fill)
-                    vm.heap.record_array(length)
+                    vm.heap.record_array(length, instr.extra.elem)
                     regs[instr.dest.name] = arr
                 elif op == "instanceof":
                     obj = val(a[0])

@@ -18,8 +18,11 @@ Two paper-relevant behaviors:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.telemetry.core import maybe as _tel_maybe
@@ -35,6 +38,42 @@ NEVER = 1 << 60
 #: duplicated and only pinned equal by a test).
 ENTRY_TICKS = 16
 
+#: Recorded ``tier_promote`` telemetry of one full jbb2000 run: the
+#: promotion-tick defaults below are *derived* from this trace instead
+#: of hand-picked, so the thresholds stay anchored to measured hotness
+#: (regenerate by re-recording the trace after retuning the workload).
+_TIER_TRACE = Path(__file__).with_name("tier_trace_jbb2000.json")
+_HAND_PICKED_TICKS = {1: 512, 2: 4096}
+
+
+def _pow2_floor(n: int) -> int:
+    return 1 << (max(n, 1).bit_length() - 1)
+
+
+@lru_cache(maxsize=None)
+def _traced_ticks(to_level: int) -> int:
+    """Promotion threshold for ``to_level`` seeded from the recorded
+    jbb2000 trace: the power-of-two floor of the smallest tick count any
+    non-accelerated method was promoted at (promotions fire when ticks
+    cross the threshold, so the floor recovers it), clamped to the
+    hand-picked value so trace noise can only lower a threshold, never
+    raise one past the tuned default.  Falls back to the hand-picked
+    value when the trace is missing or has no such promotions."""
+    fallback = _HAND_PICKED_TICKS[to_level]
+    try:
+        with open(_TIER_TRACE, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError):
+        return fallback
+    ticks = [
+        p["ticks"]
+        for p in trace.get("promotions", ())
+        if p.get("to_level") == to_level and not p.get("accelerated")
+    ]
+    if not ticks:
+        return fallback
+    return max(min(_pow2_floor(min(ticks)), fallback), ENTRY_TICKS)
+
 
 @dataclass
 class AdaptiveConfig:
@@ -46,10 +85,11 @@ class AdaptiveConfig:
     ENTRY_TICKS = ENTRY_TICKS
 
     enabled: bool = True
-    #: Ticks before promotion opt0 -> opt1 (16 ticks per invocation).
-    opt1_ticks: int = 512
-    #: Ticks before promotion opt1 -> opt2.
-    opt2_ticks: int = 4096
+    #: Ticks before promotion opt0 -> opt1 (16 ticks per invocation);
+    #: default derived from the recorded jbb2000 tier trace.
+    opt1_ticks: int = field(default_factory=lambda: _traced_ticks(1))
+    #: Ticks before promotion opt1 -> opt2; likewise trace-derived.
+    opt2_ticks: int = field(default_factory=lambda: _traced_ticks(2))
     #: Highest optimization level to use (0 disables recompilation).
     max_opt_level: int = 2
     #: Qualified method names promoted straight to max level on first call.

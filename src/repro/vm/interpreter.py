@@ -98,6 +98,7 @@ _LOAD_SUB = Op.LOAD_SUB
 _LOAD_MUL = Op.LOAD_MUL
 _GETFIELD_RETURN = Op.GETFIELD_RETURN
 _FIELD_INC = Op.FIELD_INC
+_GETFIELD_SHAPE = Op.GETFIELD_SHAPE
 
 #: Ticks credited per method entry — the shared definition from the
 #: adaptive system (`AdaptiveConfig.ENTRY_TICKS`); `repro.vm.compiled`
@@ -151,7 +152,14 @@ def interpret(vm: Any, rm: Any, args: list[Any], pc: int = 0) -> Any:
                     raise NullPointerError(
                         f"null receiver reading field {instr.arg[1]!r}"
                     )
-                stack.append(obj.fields[instr.resolved])
+                slot = instr.resolved
+                if type(slot) is int:
+                    stack.append(obj.fields[slot])
+                else:
+                    # Shape-managed slot (repro.vm.shapes): a pinned
+                    # state field reads through the TIB's shape when its
+                    # storage is dropped; an unboxed field always does.
+                    stack.append(slot.read(obj))
             elif op is _PUTFIELD:
                 value = stack.pop()
                 obj = stack.pop()
@@ -159,7 +167,11 @@ def interpret(vm: Any, rm: Any, args: list[Any], pc: int = 0) -> Any:
                     raise NullPointerError(
                         f"null receiver writing field {instr.arg[1]!r}"
                     )
-                obj.fields[instr.resolved] = value
+                slot = instr.resolved
+                if type(slot) is int:
+                    obj.fields[slot] = value
+                else:
+                    slot.store(vm, obj, value)
                 # The installed hook IS the policy: re-evaluating hooks
                 # swap the TIB, deferred (coalesced) hooks only count —
                 # so the interpreter honors swap coalescing without
@@ -334,7 +346,7 @@ def interpret(vm: Any, rm: Any, args: list[Any], pc: int = 0) -> Any:
             elif op is _NEWARRAY:
                 length = stack.pop()
                 arr = VMArray(instr.arg, length, instr.resolved)
-                vm.heap.record_array(length)
+                vm.heap.record_array(length, instr.arg)
                 stack.append(arr)
             elif op is _NEW:
                 stack.append(instr.resolved.allocate(vm))
@@ -751,7 +763,11 @@ def interpret_quick(vm: Any, rm: Any, args: list[Any]) -> Any:
                     raise NullPointerError(
                         f"null receiver writing field {instr.arg[1]!r}"
                     )
-                obj.fields[instr.resolved] = value
+                slot = instr.resolved
+                if type(slot) is int:
+                    obj.fields[slot] = value
+                else:
+                    slot.store(vm, obj, value)
                 # Quick code shares PUTFIELD/PUTSTATIC Instr objects
                 # with ``info.code``, so hooks installed mid-run (the
                 # online controller) are live here too; the installed
@@ -1008,8 +1024,20 @@ def _h_new(vm: Any, instr: Any, stack: list) -> None:
 def _h_newarray(vm: Any, instr: Any, stack: list) -> None:
     length = stack.pop()
     arr = VMArray(instr.arg, length, instr.resolved)
-    vm.heap.record_array(length)
+    vm.heap.record_array(length, instr.arg)
     stack.append(arr)
+
+
+def _h_getfield_shape(vm: Any, instr: Any, stack: list) -> None:
+    # GETFIELD whose resolved slot is shape-managed (an unboxed constant
+    # or a pinned state field): quickening routes it here instead of
+    # GETFIELD_QUICK so the hot loop never branches on slot type.
+    obj = stack.pop()
+    if obj is None:
+        raise NullPointerError(
+            f"null receiver reading field {instr.arg[1]!r}"
+        )
+    stack.append(instr.resolved.read(obj))
 
 
 def _h_swap(vm: Any, instr: Any, stack: list) -> None:
@@ -1036,6 +1064,7 @@ def _build_cold_table() -> list:
     table[_CHECKCAST] = _h_checkcast
     table[_NEW] = _h_new
     table[_NEWARRAY] = _h_newarray
+    table[_GETFIELD_SHAPE] = _h_getfield_shape
     table[_SWAP] = _h_swap
     table[_NOP] = _h_nop
     return table

@@ -75,6 +75,11 @@ def _memo_default() -> bool:
     return os.environ.get("JX_MEMO", "1") != "0"
 
 
+def _shapes_default() -> bool:
+    """Packed object layouts default on; ``JX_SHAPES=0`` disables."""
+    return os.environ.get("JX_SHAPES", "1") != "0"
+
+
 @dataclass
 class VMConfig:
     """VM-level execution tunables (the adaptive system has its own
@@ -104,6 +109,14 @@ class VMConfig:
     #: cache results per (method, state, args), invalidated on TIB swaps
     #: of the receiver's class.  Off, every call runs the body.
     memo: bool = field(default_factory=_memo_default)
+    #: Shape-based packed object layout (:mod:`repro.vm.shapes`): each
+    #: (class, hot-state) owns a packed slot layout; lifetime-constant
+    #: fields are unboxed out of the instance, a mutable class's own
+    #: state fields sink to the layout tail, and hot-state TIBs carry
+    #: pinning shapes that drop the tail's storage (a TIB swap becomes
+    #: a layout transition).  Off, objects keep the declared one-word-
+    #: per-field layout exactly as before.
+    shapes: bool = field(default_factory=_shapes_default)
 
 
 @dataclass
@@ -223,11 +236,20 @@ class VM:
 
             compile_cache = CompileCache(compile_cache)
         self.compile_cache = compile_cache
+        self.config = config or VMConfig()
         self.linker = Linker(program)
         self.linker.link()
         self.classes = self.linker.classes
         self.jtoc = self.linker.jtoc
         self.tib_space = self.linker.tib_space
+        # Packed layouts install right after linking and before the
+        # mutation manager attaches, so state hooks, specialization
+        # bindings, and lifetime-constant publication all see packed
+        # slots.
+        if self.config.shapes:
+            from repro.vm.shapes import install_shapes
+
+            install_shapes(self, mutation_plan)
         #: Static-field values as linked, before any ``<clinit>`` ran —
         #: what a fresh session's :class:`~repro.vm.jtoc.JTOCView`
         #: starts from.  ``<clinit>`` effects are per-session (they may
@@ -239,7 +261,6 @@ class VM:
         )
         self._opt_compiler: Any = None
         self.mutation_manager: Any = None
-        self.config = config or VMConfig()
         self.quickener: Any = None
         if self.config.osr:
             from repro.vm.osr import OSRManager

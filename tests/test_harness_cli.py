@@ -185,3 +185,19 @@ def test_cli_plan(capsys):
 
 def test_cli_fig_unknown(capsys):
     assert cli_main(["fig", "99"]) == 1
+
+
+def test_cli_heap_report(capsys):
+    assert cli_main(["heap", "salarydb", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "heap report (shapes " in out
+    assert "modeled vs" in out
+    assert "pinning" in out
+    assert "top classes by modeled bytes" in out
+
+
+def test_cli_stats_heap_and_shapes_lines(capsys):
+    assert cli_main(["stats", "salarydb", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "heap         objects=" in out
+    assert "transitions=" in out

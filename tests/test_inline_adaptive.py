@@ -176,3 +176,52 @@ def test_specialization_inlining_uses_lifetime_constants():
     unit2 = compile_source(source)
     vm2 = VM(unit2, adaptive_config=AGGRESSIVE)
     assert vm2.run().output == result.output
+
+
+# ---------------------------------------------------------------------------
+# Trace-seeded promotion thresholds
+# ---------------------------------------------------------------------------
+
+def test_promotion_thresholds_seeded_from_recorded_trace():
+    """The default tick thresholds derive from the recorded jbb2000
+    ``tier_promote`` trace: each is the power-of-two floor of the
+    smallest recorded promotion-tick count for its level, never above
+    the hand-picked value, and the trace itself is well-formed."""
+    import json
+
+    from repro.vm import adaptive as A
+
+    trace = json.loads(A._TIER_TRACE.read_text(encoding="utf-8"))
+    assert trace["workload"] == "jbb2000"
+    assert trace["entry_ticks"] == A.ENTRY_TICKS
+    assert trace["promotions"], "recorded trace has no promotions"
+    for level in (1, 2):
+        ticks = [
+            p["ticks"] for p in trace["promotions"]
+            if p["to_level"] == level and not p["accelerated"]
+        ]
+        assert ticks, f"trace has no level-{level} promotions"
+        derived = A._traced_ticks(level)
+        # Promotions fire when ticks cross the threshold, so every
+        # recorded count sits at or above what was derived from it.
+        assert derived <= min(ticks)
+        assert derived == A._pow2_floor(derived)  # a power of two
+        assert A.ENTRY_TICKS <= derived <= A._HAND_PICKED_TICKS[level]
+    config = AdaptiveConfig()
+    assert config.opt1_ticks == A._traced_ticks(1)
+    assert config.opt2_ticks == A._traced_ticks(2)
+    assert config.opt1_ticks < config.opt2_ticks
+
+
+def test_trace_seeded_defaults_match_hand_picked_behavior():
+    """Regression: the derived defaults must not promote later than the
+    historical hand-picked 512/4096 thresholds, and a run under each
+    produces byte-identical output with the same promotion ladder."""
+    from repro.vm import adaptive as A
+
+    config = AdaptiveConfig()
+    assert config.opt1_ticks <= A._HAND_PICKED_TICKS[1]
+    assert config.opt2_ticks <= A._HAND_PICKED_TICKS[2]
+    derived_vm = run_vm(CALLS, AdaptiveConfig())
+    hand_vm = run_vm(CALLS, AdaptiveConfig(opt1_ticks=512, opt2_ticks=4096))
+    assert derived_vm.output == hand_vm.output
