@@ -1,0 +1,72 @@
+"""Translation-validation budget gate.
+
+Validate-then-run is only viable if the prover stays out of the way:
+across all seven workloads at bench scale, the time spent in
+``repro.analysis.tv`` enforcement (the ``vm.tv_seconds`` accumulator,
+also surfaced as ``analysis.tv_seconds`` telemetry) must stay under 5%
+of the total cold-start seconds (build + first run, empty compile
+cache).  The numerator is the validator's own deterministic
+accounting, so the gate measures real prover time rather than
+run-to-run wall noise.
+
+Per-workload numbers land in ``BENCH_tv.json`` for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_bench_scalar
+
+from repro import VM, compile_source
+from repro.mutation import build_mutation_plan
+from repro.workloads.registry import all_workloads
+
+MAX_OVERHEAD = 0.05
+
+
+def test_tv_overhead_under_budget():
+    total_tv = 0.0
+    total_wall = 0.0
+    per_workload = {}
+    for spec in all_workloads():
+        source = spec.source(spec.bench_scale)
+        plan = build_mutation_plan(
+            spec.profile_source(), entry_class=spec.entry_class
+        )
+        unit = compile_source(
+            source, filename=f"<{spec.name}>",
+            entry_class=spec.entry_class, entry_method=spec.entry_method,
+        )
+        start = time.perf_counter()
+        vm = VM(unit, mutation_plan=plan)
+        vm.run()
+        wall = time.perf_counter() - start
+        assert vm.config.tv, "the gate must measure an enforcing build"
+        assert vm.mutation_stats.tv_bodies_validated > 0
+        assert vm.tv_downgrades == {}, (
+            f"{spec.name}: a real transformation failed validation: "
+            f"{vm.tv_downgrades}"
+        )
+        total_tv += vm.tv_seconds
+        total_wall += wall
+        per_workload[spec.name] = {
+            "tv_seconds": vm.tv_seconds,
+            "cold_wall_seconds": wall,
+            "bodies_validated": vm.mutation_stats.tv_bodies_validated,
+        }
+
+    overhead = total_tv / total_wall
+    write_bench_scalar(
+        "tv",
+        tv_seconds=total_tv,
+        cold_wall_seconds=total_wall,
+        overhead=overhead,
+        max_overhead=MAX_OVERHEAD,
+        per_workload=per_workload,
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"translation validation costs {overhead:.1%} of cold-start "
+        f"seconds (budget: {MAX_OVERHEAD:.0%}; "
+        f"tv={total_tv:.3f}s wall={total_wall:.3f}s)"
+    )

@@ -14,6 +14,11 @@ A whole-program analysis layer over the bytecode IR:
 * :mod:`.estimates` — the optimizer's budget-gate benefit estimates;
 * :mod:`.liveness` — per-instruction live-local sets (the OSR
   frame-mapping compensation sets);
+* :mod:`.symstate` — the symbolic lockstep machine (term-algebra
+  abstract interpreter over pristine and quickened bytecode);
+* :mod:`.tv` — translation validation of every transformed code
+  surface (quicken/fusion, shapes, OSR, spec-share) plus the
+  deopt-guard safety lint; unprovable bodies are downgraded, not run;
 * :mod:`.lint` — the ``jx lint`` aggregation over a built VM.
 """
 
@@ -37,6 +42,21 @@ from repro.analysis.specsafety import (
     lifetime_findings,
     must_reach_states,
     site_findings,
+)
+from repro.analysis.symstate import (
+    TVUnprovable,
+    entry_depths,
+    region_outcomes,
+    step_outcomes,
+)
+from repro.analysis.tv import (
+    deopt_guard_findings,
+    tv_findings,
+    tv_osr_findings,
+    tv_quicken_findings,
+    tv_shapes_findings,
+    tv_share_findings,
+    validate_quick_method,
 )
 
 __all__ = [
@@ -63,4 +83,15 @@ __all__ = [
     "lifetime_findings",
     "must_reach_states",
     "site_findings",
+    "TVUnprovable",
+    "entry_depths",
+    "region_outcomes",
+    "step_outcomes",
+    "deopt_guard_findings",
+    "tv_findings",
+    "tv_osr_findings",
+    "tv_quicken_findings",
+    "tv_shapes_findings",
+    "tv_share_findings",
+    "validate_quick_method",
 ]

@@ -19,10 +19,15 @@ quickened):
   re-proven by the flow-sensitive escape analysis
   (:func:`repro.analysis.specsafety.lifetime_findings`);
 * **plan downgrades** — classes the attach-time audit already had to
-  detach are reported (the program runs correctly but unspecialized).
+  detach are reported (the program runs correctly but unspecialized);
+* **translation validation** (``--tv``) — every transformed code
+  surface (quickened/fused bodies, shape slot layouts, OSR entries,
+  shared specialized bodies) is re-proven equivalent to its pristine
+  source, and every runtime enforcement downgrade is surfaced
+  (:mod:`repro.analysis.tv`).
 
 Zero findings on a shipped workload is an acceptance criterion; CI runs
-``jx lint --strict`` over all of them.
+``jx lint --strict`` (and ``--tv``) over all of them.
 """
 
 from __future__ import annotations
@@ -124,14 +129,20 @@ def downgrade_findings(vm: Any) -> list[Finding]:
     ]
 
 
-def lint_vm(vm: Any) -> list[Finding]:
+def lint_vm(vm: Any, *, tv: bool = False) -> list[Finding]:
     """All checks over a built VM; empty list means the mutation
-    invariants are statically proven for this link state."""
+    invariants are statically proven for this link state.  With ``tv``,
+    the translation validator re-proves every transformed code surface
+    as well (:func:`repro.analysis.tv.tv_findings`)."""
     findings = site_findings(vm)
     findings += ctor_hook_findings(vm)
     findings += quick_code_findings(vm)
     findings += lifetime_findings(vm)
     findings += downgrade_findings(vm)
+    if tv:
+        from repro.analysis.tv import tv_findings
+
+        findings += tv_findings(vm)
     return findings
 
 
@@ -143,6 +154,7 @@ def lint_source(
     entry_method: str = "main",
     plan: Any = None,
     mutate: bool = True,
+    tv: bool = False,
 ) -> list[Finding]:
     """Compile ``source``, build its mutation plan (unless given), link
     a VM — installing hooks exactly as a real run would — and lint it."""
@@ -157,10 +169,10 @@ def lint_source(
     if plan is None and mutate:
         plan = build_mutation_plan(source, entry_class=entry_class)
     vm = VM(unit, mutation_plan=plan)
-    return lint_vm(vm)
+    return lint_vm(vm, tv=tv)
 
 
-def lint_workload(spec: Any) -> list[Finding]:
+def lint_workload(spec: Any, *, tv: bool = False) -> list[Finding]:
     """Lint one registered workload under its production configuration:
     the plan comes from the profiling source (as ``jx run``/``compare``
     build it) and the linted program is the bench-scale source."""
@@ -178,4 +190,4 @@ def lint_workload(spec: Any) -> list[Finding]:
         entry_method=spec.entry_method,
     )
     vm = VM(unit, mutation_plan=plan)
-    return lint_vm(vm)
+    return lint_vm(vm, tv=tv)

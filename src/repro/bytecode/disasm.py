@@ -45,6 +45,23 @@ def _quick_arg(instr: Instr) -> str:
     return f" {a!r}"
 
 
+def _slot_note(instr: Instr) -> str:
+    """Annotate a field op's resolved slot kind — the same taxonomy the
+    translation validator's shapes client checks (packed index vs
+    ``ShapeField`` pinned slot vs ``UnboxedField`` constant)."""
+    r = instr.resolved
+    if r is None:
+        return ""
+    if type(r) is int:
+        return f"  ; slot {r}"
+    kind = type(r).__name__
+    if kind == "UnboxedField":
+        return f"  ; unboxed {r.value!r}"
+    if kind == "ShapeField":
+        return f"  ; shape slot {int(r)}"
+    return ""
+
+
 def _quick_hook(instr: Instr):
     """The live state hook a quick op fires, if any (fused forms read it
     off the shared PUTFIELD Instr they pack)."""
@@ -80,12 +97,13 @@ def disassemble_quick(rm) -> str:
         marker = "->" if j in targets else "  "
         info = OP_INFO[instr.op]
         arg = _quick_arg(instr)
+        slot = _slot_note(instr)
         hook = "  ; state-field write" if _quick_hook(instr) is not None else ""
         note = ""
         start = covered_by.get(j)
         if start is not None:
             note = f"  ; covered by {OP_INFO[code[start].op].mnemonic}@{start}"
-        lines.append(f"{marker}{j:4d}: {info.mnemonic}{arg}{hook}{note}")
+        lines.append(f"{marker}{j:4d}: {info.mnemonic}{arg}{slot}{hook}{note}")
     return "\n".join(lines)
 
 

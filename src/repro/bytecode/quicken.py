@@ -290,6 +290,13 @@ class Quickener:
         """Build ``quick_code`` for every non-abstract method."""
         for rm in self.vm.all_runtime_methods():
             self.quicken_method(rm)
+        if getattr(self.vm.config, "tv", False):
+            # Translation validation: prove every quickened body
+            # observationally equivalent to its pristine bytecode;
+            # unprovable bodies are de-quickened and run pristine.
+            from repro.analysis.tv import enforce_quicken
+
+            enforce_quicken(self.vm)
         tel = self.vm.telemetry
         if tel is not None and tel.enabled:
             tel.emit(

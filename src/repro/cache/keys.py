@@ -147,6 +147,15 @@ def environment_payload(vm: Any) -> dict:
         # with unboxed constants, so any artifact embedding a slot index
         # depends on the toggle.
         "shapes": bool(getattr(vm.config, "shapes", False)),
+        # Translation-validation verdict digest: enforcement downgrades
+        # (de-quickened bodies, rejected OSR entries, refused shares,
+        # downgraded plans) change which bodies exist to compile, so a
+        # hit from a run with different verdicts could resurrect an
+        # unvalidated body.
+        "tv": {
+            "enabled": bool(getattr(vm.config, "tv", False)),
+            "downgrades": sorted(getattr(vm, "tv_downgrades", None) or {}),
+        },
     }
 
 

@@ -76,7 +76,11 @@ from repro.cache.keys import compile_key, program_digest, stable_digest
 #: emit guarded/rematerializing accessors, and ``environment_payload``
 #: gained the ``shapes`` entry; v7 artifacts embed declared slot
 #: indices.
-SCHEMA_VERSION = 8
+#: v9: translation validation — ``environment_payload`` gained the
+#: ``tv`` entry (toggle + the sorted enforcement-downgrade record), so
+#: a cache hit never resurrects a body the validator refused to run in
+#: the populating build; v8 artifacts carry no verdict digest.
+SCHEMA_VERSION = 9
 
 
 def cache_stamp() -> str:

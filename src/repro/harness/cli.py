@@ -101,14 +101,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.file:
         with open(args.file, encoding="utf-8") as handle:
             source = handle.read()
-        targets.append((args.file, lint_source(source, filename=args.file)))
+        targets.append((
+            args.file,
+            lint_source(source, filename=args.file, tv=args.tv),
+        ))
     else:
         names = args.workloads or [
             spec.name for spec in all_workloads()
         ]
         for name in names:
             spec = get_workload(name)
-            targets.append((name, lint_workload(spec)))
+            targets.append((name, lint_workload(spec, tv=args.tv)))
     total = 0
     for name, findings in targets:
         if findings:
@@ -314,6 +317,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"tibs_shared={stats.special_tibs_shared}")
     print(f"memo         hits={stats.memo_hits} "
           f"fills={vm.memo.fills} entries={len(vm.memo.entries)}")
+    # Same single-source-of-truth rule as the swap accounting: these
+    # read the VMStats fields that the telemetry counters and the
+    # ``tv_validated`` events bump in lockstep (three-way agreement is
+    # test-pinned).
+    print(f"lint/tv      {'on' if vm.config.tv else 'off'} "
+          f"bodies_validated={stats.tv_bodies_validated} "
+          f"findings={stats.tv_findings} "
+          f"downgrades={stats.tv_downgrades} "
+          f"seconds={vm.tv_seconds:.3f}")
     heap = vm.heap
     print(f"heap         objects={heap.objects_allocated} "
           f"modeled={heap.modeled_object_bytes()}B "
@@ -466,6 +478,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="lint a Jx source file instead of workloads")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero if any finding is reported")
+    p.add_argument("--tv", action="store_true",
+                   help="also run the translation validator: re-prove "
+                        "every transformed code surface (quickened "
+                        "bodies, shape layouts, OSR entries, shared "
+                        "specials) equivalent to its pristine source")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("workloads", help="list benchmark workloads")

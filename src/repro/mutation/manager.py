@@ -482,6 +482,16 @@ class MutationManager:
 
         for name, findings in sorted(audit_attached_plans(self).items()):
             self._downgrade_class(name, findings)
+        if getattr(self.vm.config, "tv", False):
+            # Translation validation of the shape surface: layouts,
+            # pinning shapes, and the plan class's own field sites must
+            # be provable, else the plan is downgraded the same way.
+            from repro.analysis.tv import attach_findings
+
+            for name in sorted(self.mcrs):
+                findings = attach_findings(self, name, self.mcrs[name])
+                if findings:
+                    self._downgrade_class(name, findings)
 
     def _downgrade_class(self, name: str, findings: list) -> None:
         mcr = self.mcrs.pop(name, None)
@@ -948,12 +958,19 @@ class MutationManager:
         )
         share = bool(getattr(vm.config, "spec_share", False))
         osr_on = bool(getattr(vm.config, "osr", False))
+        tv_on = bool(getattr(vm.config, "tv", False))
+        if tv_on:
+            from repro.analysis.tv import reprove_share
         general = rm.general
         can_alias_general = (
             general is not None
             and general.opt_level == MUTATION_OPT_LEVEL
         )
         shared_bodies: dict[tuple, Any] = {}
+        # The bindings each shared body was compiled against, so the
+        # validator can re-prove projection equality before any later
+        # state aliases it (repro.analysis.tv.reprove_share).
+        shared_srcs: dict[tuple, SpecBindings] = {}
         for hs in mcr.hot_states:
             bindings = SpecBindings(label=hs.describe(mcr.plan))
             if not rm.info.is_static:
@@ -986,11 +1003,16 @@ class MutationManager:
                 and reads.tib_dependent
             )
             projection = reads.project(bindings.instance, bindings.static)
-            if (
+            alias_general = (
                 not guarded
                 and can_alias_general
                 and projection == ((), ())
+            )
+            if alias_general and tv_on and not reprove_share(
+                vm, rm, reads, None, bindings
             ):
+                alias_general = False  # unprovable: compile fresh
+            if alias_general:
                 # Zero-replacement case: the body reads none of the
                 # bound slots, so the "special" would be byte-identical
                 # to the general code just compiled.  Alias it.
@@ -1003,7 +1025,12 @@ class MutationManager:
                     id(bindings.tib) if guarded else None,
                 )
                 existing = shared_bodies.get(share_key)
-                if existing is not None:
+                if existing is not None and (
+                    not tv_on
+                    or reprove_share(
+                        vm, rm, reads, shared_srcs[share_key], bindings
+                    )
+                ):
                     rm.specials[key] = existing
                     self._record_special_shared(rm, bindings, existing)
                     continue
@@ -1026,6 +1053,7 @@ class MutationManager:
             rm.specials[key] = special
             if share:
                 shared_bodies[share_key] = special
+                shared_srcs[share_key] = bindings
             vm.mutation_stats.specials_compiled += 1
             vm.compile_stats.record_special(
                 seconds, special.code_size_bytes

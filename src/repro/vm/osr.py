@@ -92,6 +92,24 @@ class OSRManager:
         vm = self.vm
         cfg = vm.adaptive.config
         level = 2 if cfg.max_opt_level >= 2 else 1
+        # The compensation set: locals dead at the entry pc are nulled
+        # so the transferred frame carries exactly the state the
+        # abstract interpreter frame would.
+        dead = tuple(
+            i
+            for i in range(rm.info.max_locals)
+            if i not in live_locals(rm.info.code)[pc]
+        )
+        if getattr(vm.config, "tv", False):
+            # Translation validation: the entry pc must be a
+            # stack-depth-0 loop header and the compensation set must
+            # agree with an independent liveness run; an unprovable
+            # entry is rejected before paying for the compile (the
+            # caller caches the permanent-miss sentinel).
+            from repro.analysis.tv import check_osr_entry
+
+            if not check_osr_entry(vm, rm, pc, dead):
+                return None
         tel = _tel_maybe(vm.telemetry)
         qualified = rm.info.qualified_name
         if tel is not None:
@@ -148,14 +166,6 @@ class OSRManager:
             )
             tel.count(f"compile.count.opt{level}")
             tel.count("compile.code_bytes", code_size)
-        # The compensation set: locals dead at the entry pc are nulled
-        # so the transferred frame carries exactly the state the
-        # abstract interpreter frame would.
-        dead = tuple(
-            i
-            for i in range(rm.info.max_locals)
-            if i not in live_locals(rm.info.code)[pc]
-        )
 
         def entry(
             vm: Any,
@@ -180,6 +190,10 @@ class OSRManager:
                 locals_[i] = None
             return _executor(vm, locals_)
 
+        # Validation record: the lint client re-proves the entry's
+        # compensation set against an independent liveness run.
+        entry.dead_locals = dead
+        entry.entry_pc = pc
         return entry
 
 

@@ -80,6 +80,11 @@ def _shapes_default() -> bool:
     return os.environ.get("JX_SHAPES", "1") != "0"
 
 
+def _tv_default() -> bool:
+    """Translation validation defaults on; ``JX_TV=0`` disables."""
+    return os.environ.get("JX_TV", "1") != "0"
+
+
 @dataclass
 class VMConfig:
     """VM-level execution tunables (the adaptive system has its own
@@ -117,6 +122,14 @@ class VMConfig:
     #: a layout transition).  Off, objects keep the declared one-word-
     #: per-field layout exactly as before.
     shapes: bool = field(default_factory=_shapes_default)
+    #: Translation validation (:mod:`repro.analysis.tv`): prove every
+    #: transformed code surface (quickened/fused bodies, shape slot
+    #: layouts, OSR continuation entries, shared specialized bodies)
+    #: observationally equivalent to its pristine source before it is
+    #: allowed to run; anything unprovable is downgraded (de-quickened,
+    #: permanent OSR miss, fresh compile, plan downgrade) instead of
+    #: trusted.  Off, transformers are trusted exactly as before.
+    tv: bool = field(default_factory=_tv_default)
 
 
 @dataclass
@@ -165,6 +178,15 @@ class VMStats:
     #: Mid-frame deopts: specialized frames bailed back to the
     #: interpreter after a TIB swap invalidated their speculation.
     osr_deopts: int = 0
+    #: Transformed bodies run through the translation validator
+    #: (repro.analysis.tv): quickened methods, OSR entries, shared
+    #: specialized bodies, and attach-time shape audits all count here.
+    tv_bodies_validated: int = 0
+    #: Individual unprovable facts the validator reported.
+    tv_findings: int = 0
+    #: Surfaces the validator refused to run (de-quickened bodies,
+    #: rejected OSR entries, refused shares, downgraded plans).
+    tv_downgrades: int = 0
 
 
 class VM:
@@ -237,6 +259,13 @@ class VM:
             compile_cache = CompileCache(compile_cache)
         self.compile_cache = compile_cache
         self.config = config or VMConfig()
+        #: Translation-validation enforcement record: ``"surface:where"``
+        #: -> reason for every transformed body the validator refused to
+        #: run (repro.analysis.tv).  Digested into the compile cache's
+        #: environment payload so a hit never resurrects one.
+        self.tv_downgrades: dict[str, str] = {}
+        #: Accumulated validator wall seconds (the <5% budget gate).
+        self.tv_seconds = 0.0
         self.linker = Linker(program)
         self.linker.link()
         self.classes = self.linker.classes

@@ -146,7 +146,7 @@ def test_cli_lint_strict_fails_on_findings(monkeypatch, capsys):
     finding = Finding(
         "hook-completeness", "X.m", 3, "X.f", "state write without hook"
     )
-    monkeypatch.setattr(lint_mod, "lint_vm", lambda vm: [finding])
+    monkeypatch.setattr(lint_mod, "lint_vm", lambda vm, **kw: [finding])
     assert cli_main(["lint", "salarydb"]) == 0  # non-strict: report only
     out = capsys.readouterr().out
     assert "salarydb: 1 finding(s)" in out
